@@ -1,0 +1,66 @@
+// Experiment E10 (§4 experimental claim): dissemination accuracy.
+//
+// Paper claim: "the DR-tree overlay helps in eliminating the false
+// negatives and drastically reduces the false positives ... the false
+// positive rate is in the order of 2-3% with most workloads".
+// Expected shape: false negatives exactly 0 on every workload; the
+// false-positive rate (probability a peer receives an event it did not
+// subscribe to) in the low single-digit percent range for most
+// subscription families and event distributions.
+#include <benchmark/benchmark.h>
+
+#include "analysis/harness.h"
+#include "bench_common.h"
+#include "util/table.h"
+
+namespace {
+
+using drt::analysis::testbed;
+using drt::bench::results;
+using drt::util::table;
+using drt::workload::event_family;
+using drt::workload::subscription_family;
+
+void BM_Accuracy(benchmark::State& state) {
+  const auto family =
+      static_cast<subscription_family>(state.range(0));
+  const auto events = static_cast<event_family>(state.range(1));
+  const std::size_t n = 128;
+
+  drt::analysis::harness_config hc;
+  hc.family = family;
+  hc.net.seed = 71 + state.range(0) * 7 + state.range(1);
+
+  testbed::accuracy acc;
+  for (auto _ : state) {
+    testbed tb(hc);
+    tb.populate(n);
+    tb.converge();
+    acc = tb.publish_sweep(300, events);
+  }
+
+  state.counters["fp_rate"] = acc.fp_rate();
+  state.counters["false_negatives"] = static_cast<double>(acc.false_negatives);
+  state.counters["msgs_per_event"] = acc.messages_per_event();
+
+  results::instance().set_headers({"subscriptions", "events", "fp_rate",
+                                   "false_negatives", "msgs/event",
+                                   "deliveries", "interested"});
+  results::instance().add_row(
+      {to_string(family), to_string(events), table::cell(acc.fp_rate(), 4),
+       table::cell(acc.false_negatives), table::cell(acc.messages_per_event(), 1),
+       table::cell(acc.deliveries), table::cell(acc.interested)});
+}
+
+}  // namespace
+
+BENCHMARK(BM_Accuracy)
+    ->ArgsProduct({{0, 1, 2, 3, 4},  // all subscription families
+                   {0, 1, 2}})       // uniform / hotspot / matching events
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+DRT_BENCH_MAIN(
+    "E10: dissemination accuracy (§4 claim: FN = 0, FP ~ 2-3%)",
+    "Expect false_negatives = 0 everywhere and fp_rate in the low "
+    "single-digit percent range for most workload combinations.")

@@ -1,0 +1,186 @@
+// Experiment E9 (Lemma 3.7): churn resistance — expected time before the
+// DR-tree disconnects under Poisson departures, with stabilization
+// silent for windows of length Delta.
+//
+// Model (paper): E[T] = prefactor * exp((N - Delta*lambda)^2 /
+// (4*Delta*lambda)).  The exponent is exactly the Chernoff upper tail of
+// Poisson(Delta*lambda) reaching N, so the modeled disconnection event is
+// "the entire population (N departures) churns out inside one
+// stabilization-free window".  We measure:
+//
+//  * series A — the lemma's event: E[T] = Delta / P[Poisson(Δλ) >= N],
+//    with the probability estimated by Monte Carlo in the near-critical
+//    regime (elsewhere it is astronomically small, exactly as the model
+//    predicts);
+//  * series B — a *structural* proxy on the real overlay: the first time
+//    a surviving peer loses its entire ancestor chain within one window
+//    (no in-band repair anchor).  This happens far sooner, which is why
+//    the protocol stabilizes continuously instead of betting on the
+//    bound.
+//
+// Expected shape: measured E[T] falls steeply as lambda grows and rises
+// steeply with N — the model's exponential sensitivity to Δλ/N — and the
+// near-critical measurements agree with the closed form within the
+// Chernoff constant.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "analysis/harness.h"
+#include "analysis/models.h"
+#include "bench_common.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using drt::analysis::testbed;
+using drt::bench::results;
+using drt::util::table;
+
+std::string sci(double v) {
+  if (v < 0) return "-";
+  std::ostringstream out;
+  if (v == 0.0 || (v >= 0.01 && v < 1e6)) {
+    out.precision(3);
+    out << std::fixed << v;
+  } else {
+    out.precision(2);
+    out << std::scientific << v;
+  }
+  return out.str();
+}
+
+/// Poisson(rate) via exponential inter-arrival counting.
+std::size_t poisson(double rate, drt::util::rng& rng) {
+  std::size_t k = 0;
+  double acc = rng.exponential(1.0);
+  while (acc < rate) {
+    ++k;
+    acc += rng.exponential(1.0);
+  }
+  return k;
+}
+
+/// Series A: Delta / P[Poisson(Delta*lambda) >= N], Monte Carlo.
+double lemma_event_time(std::size_t n, double delta, double lambda,
+                        drt::util::rng& rng, std::size_t samples) {
+  std::size_t hits = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    if (poisson(delta * lambda, rng) >= n) ++hits;
+  }
+  if (hits == 0) return -1.0;  // beyond measurable: report as lower bound
+  return delta * static_cast<double>(samples) / static_cast<double>(hits);
+}
+
+/// Series B: structural proxy on real overlay ancestor chains.
+std::vector<std::vector<std::size_t>> ancestor_chains(testbed& tb) {
+  const auto live = tb.overlay().live_peers();
+  std::vector<std::vector<std::size_t>> chains;
+  chains.reserve(live.size());
+  for (const auto p : live) {
+    std::vector<std::size_t> chain;
+    auto cur = p;
+    auto h = tb.overlay().peer(p).top();
+    std::size_t guard = 0;
+    while (guard++ < 64) {
+      const auto* ins = tb.overlay().peer(cur).find_inst(h);
+      if (ins == nullptr || ins->parent == cur) break;
+      cur = ins->parent;
+      ++h;
+      chain.push_back(cur);
+    }
+    chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+double orphan_proxy_time(const std::vector<std::vector<std::size_t>>& chains,
+                         std::size_t n, double delta, double lambda,
+                         drt::util::rng& rng, double horizon) {
+  double t = 0.0;
+  while (t < horizon) {
+    std::vector<bool> departed(n + 1, false);
+    double when = rng.exponential(lambda);
+    while (when < delta) {
+      departed[rng.index(n)] = true;
+      when += rng.exponential(lambda);
+    }
+    for (std::size_t i = 0; i < chains.size(); ++i) {
+      if (departed[i] || chains[i].empty()) continue;
+      bool anchored = false;
+      for (const auto a : chains[i]) {
+        if (a < departed.size() && !departed[a]) {
+          anchored = true;
+          break;
+        }
+      }
+      if (!anchored) return t + delta;
+    }
+    t += delta;
+  }
+  return horizon;
+}
+
+void BM_Churn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double delta = static_cast<double>(state.range(1));
+  const double lambda = static_cast<double>(state.range(2)) / 10.0;
+
+  drt::analysis::harness_config hc;
+  hc.net.seed = 61 + n;
+  testbed tb(hc);
+  tb.populate(n);
+  tb.converge();
+  const auto chains = ancestor_chains(tb);
+
+  drt::util::rng rng(77 + n + static_cast<std::uint64_t>(lambda * 10));
+  double lemma_time = 0.0;
+  drt::util::accumulator proxy;
+  for (auto _ : state) {
+    lemma_time = lemma_event_time(n, delta, lambda, rng, 200000);
+    for (int trial = 0; trial < 20; ++trial) {
+      proxy.add(orphan_proxy_time(chains, n, delta, lambda, rng, 1e6));
+    }
+  }
+
+  const auto model = drt::analysis::expected_disconnect_time(
+      n, delta, lambda, drt::analysis::churn_prefactor::delta_times_n);
+
+  state.counters["measured_T"] = lemma_time;
+  state.counters["model_T"] =
+      model.valid && !std::isinf(model.expected_time) ? model.expected_time
+                                                      : -1.0;
+
+  results::instance().set_headers({"N", "Delta", "lambda", "Dl/N",
+                                   "measured_E[T]", "model_E[T] (ΔN)",
+                                   "orphan_proxy_E[T]"});
+  results::instance().add_row(
+      {table::cell(n), table::cell(delta, 0), table::cell(lambda, 1),
+       table::cell(delta * lambda / static_cast<double>(n), 2),
+       lemma_time < 0 ? "> 4e5" : sci(lemma_time),
+       model.valid ? sci(model.expected_time) : "-(degenerate)",
+       sci(proxy.mean())});
+}
+
+}  // namespace
+
+// lambda passed in tenths to keep integer benchmark args.  The sweep
+// covers the near-critical regime Delta*lambda/N in [0.5, 1.5] where the
+// lemma's event is measurable, plus an N sweep at fixed lambda.
+BENCHMARK(BM_Churn)
+    ->ArgsProduct({{32}, {4}, {40, 60, 80, 100, 120}})
+    ->ArgsProduct({{16, 32, 48, 64}, {4}, {80}})
+    ->ArgsProduct({{32}, {2, 4, 8}, {80}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+DRT_BENCH_MAIN(
+    "E9: churn resistance (Lemma 3.7)",
+    "Expect measured E[T] to fall steeply with lambda and rise steeply "
+    "with N (the exp((N-Δλ)²/4Δλ) shape); the structural orphan proxy is "
+    "orders of magnitude sooner — the reason stabilization runs "
+    "continuously.")

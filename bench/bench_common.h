@@ -1,0 +1,63 @@
+// Shared plumbing for the experiment benches: every bench binary both
+// runs google-benchmark timings and accumulates a paper-style results
+// table that is printed after the benchmark report, so each binary
+// regenerates "its" table/figure rows (DESIGN.md §4).
+#ifndef DRT_BENCH_COMMON_H
+#define DRT_BENCH_COMMON_H
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/table.h"
+
+namespace drt::bench {
+
+/// Per-binary results table.  Set the headers once, append rows from
+/// inside benchmarks, print after the run.
+class results {
+ public:
+  static results& instance() {
+    static results r;
+    return r;
+  }
+
+  void set_headers(std::vector<std::string> headers) {
+    if (table_ == nullptr) {
+      table_ = std::make_unique<util::table>(std::move(headers));
+    }
+  }
+
+  void add_row(std::vector<std::string> cells) {
+    if (table_ != nullptr) table_->add_row(std::move(cells));
+  }
+
+  void print(const std::string& title) const {
+    if (table_ == nullptr || table_->rows() == 0) return;
+    std::cout << "\n=== " << title << " ===\n";
+    table_->print(std::cout);
+  }
+
+ private:
+  std::unique_ptr<util::table> table_;
+};
+
+}  // namespace drt::bench
+
+/// Standard bench main: description banner, google-benchmark run, then
+/// the accumulated experiment table.
+#define DRT_BENCH_MAIN(TITLE, DESCRIPTION)                                  \
+  int main(int argc, char** argv) {                                        \
+    std::cout << TITLE << "\n" << DESCRIPTION << "\n\n";                    \
+    ::benchmark::Initialize(&argc, argv);                                   \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    ::benchmark::RunSpecifiedBenchmarks();                                  \
+    ::benchmark::Shutdown();                                                \
+    ::drt::bench::results::instance().print(TITLE);                        \
+    return 0;                                                               \
+  }
+
+#endif  // DRT_BENCH_COMMON_H

@@ -1,0 +1,70 @@
+// Experiment E4 (Lemma 3.1): DR-tree height and per-peer memory vs N.
+//
+// Paper prediction: height O(log_m N); memory O(M log^2 N / log m) per
+// peer.  Expected shape: the measured height tracks log_m N (within a
+// small additive constant) and measured per-peer links stay well under
+// the polylog bound while growing slowly with N.
+#include <benchmark/benchmark.h>
+
+#include "analysis/harness.h"
+#include "analysis/models.h"
+#include "bench_common.h"
+#include "drtree/checker.h"
+#include "util/table.h"
+
+namespace {
+
+using drt::analysis::testbed;
+using drt::bench::results;
+using drt::util::table;
+
+void BM_HeightMemory(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const auto big_m = static_cast<std::size_t>(state.range(2));
+
+  drt::analysis::harness_config hc;
+  hc.dr.min_children = m;
+  hc.dr.max_children = big_m;
+  hc.net.seed = 11 + n;
+
+  drt::overlay::check_report report;
+  for (auto _ : state) {
+    testbed tb(hc);
+    tb.populate(n);
+    tb.converge();
+    report = tb.report();
+  }
+
+  state.counters["height"] = static_cast<double>(report.height);
+  state.counters["log_m_N"] = drt::analysis::predicted_height(n, m);
+  state.counters["max_links"] = static_cast<double>(report.max_peer_links);
+  state.counters["bound"] = drt::analysis::predicted_memory(n, m, big_m);
+  state.counters["legal"] = report.legal() ? 1.0 : 0.0;
+
+  results::instance().set_headers({"N", "m", "M", "height", "log_m(N)",
+                                   "max_peer_links", "memory_bound",
+                                   "legal"});
+  results::instance().add_row(
+      {table::cell(n), table::cell(m), table::cell(big_m),
+       table::cell(report.height),
+       table::cell(drt::analysis::predicted_height(n, m), 2),
+       table::cell(report.max_peer_links),
+       table::cell(drt::analysis::predicted_memory(n, m, big_m), 1),
+       report.legal() ? "yes" : "NO"});
+}
+
+}  // namespace
+
+BENCHMARK(BM_HeightMemory)
+    ->ArgsProduct({{16, 64, 256, 1024}, {2}, {4}})
+    ->ArgsProduct({{16, 64, 256, 1024}, {2}, {8}})
+    ->ArgsProduct({{16, 64, 256, 1024}, {4}, {8}})
+    ->ArgsProduct({{16, 64, 256, 1024}, {8}, {16}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+DRT_BENCH_MAIN(
+    "E4: height and memory vs N (Lemma 3.1)",
+    "Expect height ~ log_m(N) + O(1) and per-peer links far below the "
+    "O(M log^2 N / log m) bound.")

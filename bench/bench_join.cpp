@@ -1,0 +1,72 @@
+// Experiment E5 (Lemma 3.2): join cost vs N.
+//
+// Paper prediction: a join stabilizes in O(log_m N) steps — the request
+// climbs to the root and descends to the last non-leaf level.  Expected
+// shape: messages and handler steps per join grow logarithmically with N
+// (doubling N adds a constant), for both uniform and clustered workloads.
+#include <benchmark/benchmark.h>
+
+#include "analysis/harness.h"
+#include "analysis/models.h"
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using drt::analysis::testbed;
+using drt::bench::results;
+using drt::util::table;
+
+void BM_JoinCost(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool clustered = state.range(1) != 0;
+
+  drt::analysis::harness_config hc;
+  hc.family = clustered ? drt::workload::subscription_family::clustered
+                        : drt::workload::subscription_family::uniform;
+  hc.net.seed = 23 + n;
+
+  testbed tb(hc);
+  tb.populate(n);
+  tb.converge();
+
+  drt::util::accumulator msgs;
+  auto params = hc.subs;
+  params.workspace = hc.dr.workspace;
+  for (auto _ : state) {
+    // Measure 20 additional joins against the size-N overlay.  Messages
+    // are the join-attributable cost; draining also executes unrelated
+    // periodic stabilizer passes, so handler steps are not comparable.
+    const auto rects = drt::workload::make_subscriptions(
+        hc.family, 20, tb.workload_rng(), params);
+    for (const auto& r : rects) {
+      const auto m0 = tb.overlay().sim().metrics().messages_sent;
+      tb.add(r);
+      msgs.add(static_cast<double>(
+          tb.overlay().sim().metrics().messages_sent - m0));
+    }
+  }
+
+  state.counters["msgs_per_join"] = msgs.mean();
+  state.counters["log_m_N"] = drt::analysis::predicted_height(n, 2);
+
+  results::instance().set_headers(
+      {"N", "workload", "msgs/join", "max_msgs", "log_m(N)"});
+  results::instance().add_row(
+      {table::cell(n), clustered ? "clustered" : "uniform",
+       table::cell(msgs.mean(), 1), table::cell(msgs.max(), 0),
+       table::cell(drt::analysis::predicted_height(n, 2), 2)});
+}
+
+}  // namespace
+
+BENCHMARK(BM_JoinCost)
+    ->ArgsProduct({{32, 128, 512, 2048}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+DRT_BENCH_MAIN(
+    "E5: join cost vs N (Lemma 3.2)",
+    "Expect messages/steps per join to grow ~ log(N): doubling N adds a "
+    "constant, not a factor.")

@@ -1,0 +1,75 @@
+// Experiment E6 (Lemmas 3.3/3.4): convergence after controlled leaves.
+//
+// Paper prediction: a controlled departure (and the compaction it may
+// trigger) reaches a legitimate configuration in O(N log_m N) steps in
+// the worst case.  Expected shape: rounds-to-legal stays small (a few
+// stabilization periods) and grows mildly with N and with the leave
+// fraction; messages grow near-linearly with the number of leavers.
+#include <benchmark/benchmark.h>
+
+#include "analysis/harness.h"
+#include "bench_common.h"
+#include "util/table.h"
+
+namespace {
+
+using drt::analysis::testbed;
+using drt::bench::results;
+using drt::util::table;
+
+void BM_LeaveStabilize(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto leave_pct = static_cast<std::size_t>(state.range(1));
+  const bool handoff = state.range(2) != 0;
+
+  drt::analysis::harness_config hc;
+  hc.net.seed = 31 + n + leave_pct;
+  hc.dr.efficient_leave = handoff;
+
+  int rounds = 0;
+  std::uint64_t messages = 0;
+  bool legal = false;
+  for (auto _ : state) {
+    testbed tb(hc);
+    tb.populate(n);
+    tb.converge();
+
+    auto live = tb.overlay().live_peers();
+    tb.workload_rng().shuffle(live);
+    const std::size_t leavers = std::max<std::size_t>(1, n * leave_pct / 100);
+    const auto m0 = tb.overlay().sim().metrics().messages_sent;
+    for (std::size_t i = 0; i < leavers && i < live.size(); ++i) {
+      tb.overlay().controlled_leave(live[i]);
+      tb.overlay().settle();
+    }
+    rounds = tb.converge(400);
+    messages = tb.overlay().sim().metrics().messages_sent - m0;
+    legal = tb.legal();
+  }
+
+  state.counters["rounds"] = rounds;
+  state.counters["messages"] = static_cast<double>(messages);
+  state.counters["legal"] = legal ? 1.0 : 0.0;
+
+  results::instance().set_headers({"N", "leave_%", "variant",
+                                   "rounds_to_legal", "repair_messages",
+                                   "legal"});
+  results::instance().add_row({table::cell(n), table::cell(leave_pct),
+                               handoff ? "handoff" : "fig9",
+                               table::cell(static_cast<std::int64_t>(rounds)),
+                               table::cell(messages), legal ? "yes" : "NO"});
+}
+
+}  // namespace
+
+BENCHMARK(BM_LeaveStabilize)
+    ->ArgsProduct({{64, 256, 1024}, {1, 5, 10}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+DRT_BENCH_MAIN(
+    "E6: stabilization after controlled leaves (Lemmas 3.3/3.4)",
+    "Expect a handful of rounds to re-reach a legitimate configuration, "
+    "with repair traffic scaling with the number of leavers; the paper's "
+    "suggested handoff variant (leave drives the repair, reconnecting "
+    "whole subtrees) should cut rounds and repair traffic further.")

@@ -1,0 +1,105 @@
+// Microbenchmarks of the sequential R-tree substrate (timings, not a
+// paper table): insert / point query / erase throughput per split policy.
+// These are true google-benchmark timing loops; the experiment benches
+// (E4-E15) carry the paper-series tables.
+#include <benchmark/benchmark.h>
+
+#include "rtree/rtree.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace {
+
+using drt::rtree::split_method;
+
+std::vector<drt::spatial::box> dataset(std::size_t n, std::uint64_t seed) {
+  drt::util::rng rng(seed);
+  drt::workload::subscription_params params;
+  params.workspace = drt::geo::make_rect2(0, 0, 1000, 1000);
+  return drt::workload::make_subscriptions(
+      drt::workload::subscription_family::uniform, n, rng, params);
+}
+
+void BM_RtreeInsert(benchmark::State& state) {
+  const auto method = static_cast<split_method>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto rects = dataset(n, 7);
+  drt::rtree::rtree_config rc;
+  rc.method = method;
+  rc.rstar_reinsert = method == split_method::rstar;
+  for (auto _ : state) {
+    drt::rtree::rtree2 index(rc);
+    for (std::size_t i = 0; i < rects.size(); ++i) index.insert(rects[i], i);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_RtreePointQuery(benchmark::State& state) {
+  const auto method = static_cast<split_method>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto rects = dataset(n, 11);
+  drt::rtree::rtree_config rc;
+  rc.method = method;
+  drt::rtree::rtree2 index(rc);
+  for (std::size_t i = 0; i < rects.size(); ++i) index.insert(rects[i], i);
+  drt::util::rng rng(13);
+  for (auto _ : state) {
+    drt::geo::point2 p{{rng.uniform_real(0, 1000), rng.uniform_real(0, 1000)}};
+    benchmark::DoNotOptimize(index.search_point(p));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_RtreeBulkLoad(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto rects = dataset(n, 23);
+  std::vector<std::pair<drt::spatial::box, std::uint64_t>> items;
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    items.emplace_back(rects[i], i);
+  }
+  for (auto _ : state) {
+    auto t = drt::rtree::rtree2::bulk_load(items);
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_RtreeErase(benchmark::State& state) {
+  const auto method = static_cast<split_method>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto rects = dataset(n, 17);
+  drt::rtree::rtree_config rc;
+  rc.method = method;
+  for (auto _ : state) {
+    state.PauseTiming();
+    drt::rtree::rtree2 index(rc);
+    for (std::size_t i = 0; i < rects.size(); ++i) index.insert(rects[i], i);
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < rects.size(); i += 2) {
+      benchmark::DoNotOptimize(index.erase(rects[i], i));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n / 2));
+}
+
+}  // namespace
+
+BENCHMARK(BM_RtreeInsert)
+    ->ArgsProduct({{0, 1, 2}, {1000, 10000}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RtreePointQuery)
+    ->ArgsProduct({{0, 1, 2}, {10000}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RtreeBulkLoad)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RtreeErase)
+    ->ArgsProduct({{0, 1, 2}, {2000}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

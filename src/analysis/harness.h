@@ -1,0 +1,113 @@
+// Shared experiment drivers: building overlays from workloads, running
+// them to a legitimate configuration, and sweeping publications for
+// accuracy accounting.  Used by the test suite and by every bench binary
+// so that experiments measure identical code paths.
+#ifndef DRT_ANALYSIS_HARNESS_H
+#define DRT_ANALYSIS_HARNESS_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "drtree/checker.h"
+#include "drtree/corruptor.h"
+#include "drtree/overlay.h"
+#include "workload/workload.h"
+
+namespace drt::analysis {
+
+struct harness_config {
+  overlay::dr_config dr{};
+  sim::simulator_config net{};
+  workload::subscription_family family =
+      workload::subscription_family::uniform;
+  workload::subscription_params subs{};
+  std::uint64_t workload_seed = 7;
+};
+
+/// An overlay populated from a synthetic workload, with converge and
+/// accuracy helpers.
+class testbed {
+ public:
+  explicit testbed(harness_config config = {});
+
+  /// Add `n` peers with generated filters, settling after each join.
+  void populate(std::size_t n);
+
+  /// Add one peer with an explicit filter (settles the join traffic).
+  spatial::peer_id add(const spatial::box& filter);
+
+  /// Run stabilization rounds (one timer period each) until the checker
+  /// reports a legitimate configuration; returns the number of rounds, or
+  /// -1 if `max_rounds` elapsed without convergence.
+  int converge(int max_rounds = 80);
+
+  /// True iff the current configuration is legitimate (Definition 3.2).
+  bool legal() const;
+  overlay::check_report report(bool check_containment = false) const;
+
+  /// Publish `count` events of the given family from random live peers;
+  /// aggregates accuracy and cost.
+  struct accuracy {
+    std::size_t events = 0;
+    std::size_t population = 0;  ///< live peers during the sweep
+    std::uint64_t deliveries = 0;
+    std::uint64_t interested = 0;
+    std::uint64_t false_positives = 0;
+    std::uint64_t false_negatives = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t hops_total = 0;  ///< sum over events of the worst path
+    std::size_t max_hops = 0;
+    /// The paper's "false positive rate ... 2-3%": the probability that a
+    /// peer receives an event it is not interested in, i.e. FP count over
+    /// (events x population).
+    double fp_rate() const {
+      const auto denom = static_cast<double>(events) *
+                         static_cast<double>(population);
+      return denom == 0.0 ? 0.0
+                          : static_cast<double>(false_positives) / denom;
+    }
+    /// FP share of deliveries (routing-precision view).
+    double fp_per_delivery() const {
+      return deliveries == 0
+                 ? 0.0
+                 : static_cast<double>(false_positives) /
+                       static_cast<double>(deliveries);
+    }
+    double fn_rate() const {
+      return interested == 0
+                 ? 0.0
+                 : static_cast<double>(false_negatives) /
+                       static_cast<double>(interested);
+    }
+    double messages_per_event() const {
+      return events == 0 ? 0.0
+                         : static_cast<double>(messages) /
+                               static_cast<double>(events);
+    }
+    double mean_hops() const {
+      return events == 0 ? 0.0
+                         : static_cast<double>(hops_total) /
+                               static_cast<double>(events);
+    }
+  };
+  accuracy publish_sweep(std::size_t count,
+                         workload::event_family family =
+                             workload::event_family::uniform);
+
+  overlay::dr_overlay& overlay() { return *overlay_; }
+  const overlay::dr_overlay& overlay() const { return *overlay_; }
+  util::rng& workload_rng() { return workload_rng_; }
+  const std::vector<spatial::box>& filters() const { return filters_; }
+  const harness_config& config() const { return config_; }
+
+ private:
+  harness_config config_;
+  std::unique_ptr<overlay::dr_overlay> overlay_;
+  util::rng workload_rng_;
+  std::vector<spatial::box> filters_;
+};
+
+}  // namespace drt::analysis
+
+#endif  // DRT_ANALYSIS_HARNESS_H

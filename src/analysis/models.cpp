@@ -1,0 +1,47 @@
+#include "analysis/models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expect.h"
+
+namespace drt::analysis {
+
+double predicted_height(std::size_t n, std::size_t m) {
+  DRT_EXPECT(m >= 2);
+  if (n <= 1) return 0.0;
+  return std::log(static_cast<double>(n)) /
+         std::log(static_cast<double>(m));
+}
+
+double predicted_memory(std::size_t n, std::size_t m, std::size_t big_m) {
+  DRT_EXPECT(m >= 2);
+  if (n <= 1) return static_cast<double>(big_m);
+  const double log_n = std::log2(static_cast<double>(n));
+  const double log_m = std::log2(static_cast<double>(m));
+  return static_cast<double>(big_m) * log_n * log_n / log_m;
+}
+
+churn_bound expected_disconnect_time(std::size_t n, double delta,
+                                     double lambda,
+                                     churn_prefactor prefactor) {
+  DRT_EXPECT(delta > 0.0);
+  DRT_EXPECT(lambda > 0.0);
+  churn_bound out;
+  const double dn = static_cast<double>(n);
+  const double dl = delta * lambda;
+  if (dl >= dn) return out;  // bound degenerate: departures outpace size
+  const double exponent = (dn - dl) * (dn - dl) / (4.0 * dl);
+  const double pre = prefactor == churn_prefactor::delta_times_n
+                         ? delta * dn
+                         : delta / dn;
+  // Saturate instead of overflowing to inf for tiny lambda.
+  out.expected_time = exponent > 700.0
+                          ? std::numeric_limits<double>::infinity()
+                          : pre * std::exp(exponent);
+  out.valid = true;
+  return out;
+}
+
+}  // namespace drt::analysis

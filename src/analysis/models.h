@@ -1,0 +1,43 @@
+// Closed-form models from the paper's analysis section (Lemmas 3.1 and
+// 3.7), used to compare measured scaling against the predicted shape.
+#ifndef DRT_ANALYSIS_MODELS_H
+#define DRT_ANALYSIS_MODELS_H
+
+#include <cstddef>
+
+namespace drt::analysis {
+
+/// Lemma 3.1: the DR-tree height is O(log_m N).
+double predicted_height(std::size_t n, std::size_t m);
+
+/// Lemma 3.1: memory complexity O(M log^2 N / log m) for structure
+/// maintenance (per peer, counting links across all its instances).
+double predicted_memory(std::size_t n, std::size_t m, std::size_t big_m);
+
+/// Lemma 3.7: expected time before the DR-tree disconnects, given a
+/// stabilization-free window Delta and Poisson departure rate lambda:
+///
+///     E[T] = prefactor(Delta, N) * exp((N - Delta*lambda)^2 / (4*Delta*lambda))
+///
+/// The published statement's prefactor typesets ambiguously ("∆N"); both
+/// readings are provided — the exponential dominates the shape either
+/// way.  `valid` is false outside the regime Delta*lambda < N where the
+/// bound is meaningful.
+struct churn_bound {
+  double expected_time = 0.0;
+  bool valid = false;
+};
+
+enum class churn_prefactor {
+  delta_times_n,  ///< Delta * N
+  delta_over_n,   ///< Delta / N
+};
+
+churn_bound expected_disconnect_time(std::size_t n, double delta,
+                                     double lambda,
+                                     churn_prefactor prefactor =
+                                         churn_prefactor::delta_over_n);
+
+}  // namespace drt::analysis
+
+#endif  // DRT_ANALYSIS_MODELS_H

@@ -1,0 +1,31 @@
+#include "baselines/baseline.h"
+
+#include <algorithm>
+
+namespace drt::baselines {
+
+baseline_accuracy measure_accuracy(
+    pubsub_baseline& overlay, const std::vector<spatial::box>& subscriptions,
+    const std::vector<std::pair<std::size_t, spatial::pt>>& publications) {
+  baseline_accuracy acc;
+  acc.population = subscriptions.size();
+  for (const auto& [publisher, value] : publications) {
+    const auto d = overlay.publish(publisher, value);
+    ++acc.events;
+    acc.messages += d.messages;
+    std::vector<bool> got(subscriptions.size(), false);
+    for (const auto r : d.receivers) {
+      if (r < got.size()) got[r] = true;
+    }
+    for (std::size_t i = 0; i < subscriptions.size(); ++i) {
+      const bool interested = subscriptions[i].contains(value);
+      if (interested) ++acc.interested;
+      if (got[i]) ++acc.deliveries;
+      if (got[i] && !interested) ++acc.false_positives;
+      if (!got[i] && interested) ++acc.false_negatives;
+    }
+  }
+  return acc;
+}
+
+}  // namespace drt::baselines

@@ -1,0 +1,91 @@
+// Common interface for the baseline publish/subscribe overlays the paper
+// argues against (§3.1 and §4):
+//
+//  * containment_tree   — direct mapping of the containment graph [11]
+//  * dimension_forest   — one containment tree per dimension [3]
+//  * flooding           — broadcast over a random overlay (worst case)
+//  * zcurve_dht         — DHT rendezvous via Z-order mapping of filters
+//                         to a 1-D key space (the §4 critique: "mapping of
+//                         complex filters to uni-dimensional name spaces
+//                         results in poor performance")
+//
+// Baselines are evaluated structurally (logical overlay graph, counted
+// messages) on a static subscription set — their best case, since none of
+// them self-stabilizes.  Experiment E14 compares them against the DR-tree
+// on identical workloads.
+#ifndef DRT_BASELINES_BASELINE_H
+#define DRT_BASELINES_BASELINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spatial/types.h"
+
+namespace drt::baselines {
+
+/// Result of disseminating one event.
+struct dissemination {
+  std::vector<std::size_t> receivers;  ///< subscriber indexes reached
+  std::uint64_t messages = 0;          ///< overlay messages spent
+  std::size_t max_hops = 0;            ///< longest delivery path
+};
+
+/// Structural properties of the built overlay.
+struct overlay_shape {
+  std::size_t height = 0;      ///< longest root-to-leaf path (0 if flat)
+  std::size_t max_degree = 0;  ///< highest per-peer neighbor count
+  double avg_degree = 0.0;
+  /// Total routing-state entries stored across peers (subscription
+  /// replicas for the DHT, tree links otherwise).
+  std::size_t routing_state = 0;
+};
+
+class pubsub_baseline {
+ public:
+  virtual ~pubsub_baseline() = default;
+
+  /// Build the overlay for a fixed subscription population; subscriber i
+  /// owns subscriptions[i].
+  virtual void build(const std::vector<spatial::box>& subscriptions) = 0;
+
+  /// Publish from subscriber `publisher` and report who received it.
+  virtual dissemination publish(std::size_t publisher,
+                                const spatial::pt& value) = 0;
+
+  virtual overlay_shape shape() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Accuracy accounting shared by the comparison bench.
+struct baseline_accuracy {
+  std::size_t events = 0;
+  std::size_t population = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t interested = 0;
+  std::uint64_t false_positives = 0;
+  std::uint64_t false_negatives = 0;
+  std::uint64_t messages = 0;
+
+  double fp_rate() const {
+    const auto denom =
+        static_cast<double>(events) * static_cast<double>(population);
+    return denom == 0.0 ? 0.0
+                        : static_cast<double>(false_positives) / denom;
+  }
+  double fn_rate() const {
+    return interested == 0 ? 0.0
+                           : static_cast<double>(false_negatives) /
+                                 static_cast<double>(interested);
+  }
+};
+
+/// Run `publish` for each (publisher, value) pair and compare against
+/// brute-force matching over `subscriptions`.
+baseline_accuracy measure_accuracy(
+    pubsub_baseline& overlay, const std::vector<spatial::box>& subscriptions,
+    const std::vector<std::pair<std::size_t, spatial::pt>>& publications);
+
+}  // namespace drt::baselines
+
+#endif  // DRT_BASELINES_BASELINE_H

@@ -1,0 +1,101 @@
+#include "baselines/containment_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace drt::baselines {
+
+void containment_tree::build(const std::vector<spatial::box>& subscriptions) {
+  subs_ = subscriptions;
+  const std::size_t n = subs_.size();
+  parent_.assign(n, npos);
+  children_.assign(n, {});
+  top_.clear();
+  depth_.assign(n, 1);
+
+  // Most specific container: the smallest-area strict container.  Ties on
+  // identical filters break by index so the relation stays acyclic.
+  for (std::size_t i = 0; i < n; ++i) {
+    double best_area = std::numeric_limits<double>::infinity();
+    std::size_t best = npos;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const bool ji = subs_[j].contains(subs_[i]);
+      const bool ij = subs_[i].contains(subs_[j]);
+      const bool strict = ji && (!ij || j < i);
+      if (!strict) continue;
+      const double area = subs_[j].area();
+      if (area < best_area || (area == best_area && j < best)) {
+        best_area = area;
+        best = j;
+      }
+    }
+    parent_[i] = best;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (parent_[i] == npos) {
+      top_.push_back(i);
+    } else {
+      children_[parent_[i]].push_back(i);
+    }
+  }
+  // Depths via repeated relaxation (parents always have lower depth).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t want =
+          parent_[i] == npos ? 1 : depth_[parent_[i]] + 1;
+      if (depth_[i] != want) {
+        depth_[i] = want;
+        changed = true;
+      }
+    }
+  }
+}
+
+dissemination containment_tree::publish(std::size_t publisher,
+                                        const spatial::pt& value) {
+  dissemination d;
+  // The publisher routes the event to the virtual root (its ancestor
+  // chain), then the event descends every matching path.  Climbing costs
+  // one message per hop.
+  d.messages += depth_.at(publisher);
+
+  // Descend from the virtual root: a child is visited only if its filter
+  // matches, so every visited subscriber is interested (exact routing).
+  std::vector<std::pair<std::size_t, std::size_t>> stack;  // (node, hops)
+  for (const auto t : top_) {
+    ++d.messages;  // virtual root -> top-level subscriber probe
+    if (subs_[t].contains(value)) stack.emplace_back(t, 1);
+  }
+  while (!stack.empty()) {
+    const auto [node, hops] = stack.back();
+    stack.pop_back();
+    d.receivers.push_back(node);
+    d.max_hops = std::max(d.max_hops, hops + depth_.at(publisher));
+    for (const auto c : children_[node]) {
+      ++d.messages;
+      if (subs_[c].contains(value)) stack.emplace_back(c, hops + 1);
+    }
+  }
+  return d;
+}
+
+overlay_shape containment_tree::shape() const {
+  overlay_shape s;
+  s.max_degree = top_.size();  // the virtual root's fan-out
+  std::size_t link_total = top_.size();
+  for (std::size_t i = 0; i < subs_.size(); ++i) {
+    s.height = std::max(s.height, depth_[i]);
+    s.max_degree = std::max(s.max_degree, children_[i].size() + 1);
+    link_total += children_[i].size() + 1;  // children + parent link
+  }
+  s.routing_state = link_total;
+  s.avg_degree = subs_.empty() ? 0.0
+                               : static_cast<double>(link_total) /
+                                     static_cast<double>(subs_.size());
+  return s;
+}
+
+}  // namespace drt::baselines

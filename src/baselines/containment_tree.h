@@ -1,0 +1,46 @@
+// Direct containment-graph overlay in the style of semantic peer-to-peer
+// pub/sub [11] (Chand & Felber, Euro-Par 2005): every subscriber attaches
+// under its most specific container; subscribers contained in nobody hang
+// off a virtual root.
+//
+// Routing is exact (a parent's filter contains every descendant's filter,
+// so matching prunes perfectly: no false positives and no false
+// negatives), but §3.1 observes the structural price this design pays —
+// "it requires a virtual root with as many children as subscriptions that
+// are not contained in any other subscription" and "the resulting tree
+// might be heavily unbalanced with a high variance in the degrees" —
+// which experiment E14 measures.
+#ifndef DRT_BASELINES_CONTAINMENT_TREE_H
+#define DRT_BASELINES_CONTAINMENT_TREE_H
+
+#include <vector>
+
+#include "baselines/baseline.h"
+
+namespace drt::baselines {
+
+class containment_tree : public pubsub_baseline {
+ public:
+  void build(const std::vector<spatial::box>& subscriptions) override;
+  dissemination publish(std::size_t publisher,
+                        const spatial::pt& value) override;
+  overlay_shape shape() const override;
+  std::string name() const override { return "containment_tree"; }
+
+  /// Parent index of subscriber i, or npos when attached to the virtual
+  /// root.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t parent(std::size_t i) const { return parent_.at(i); }
+  const std::vector<std::size_t>& top_level() const { return top_; }
+
+ private:
+  std::vector<spatial::box> subs_;
+  std::vector<std::size_t> parent_;                // npos = virtual root
+  std::vector<std::vector<std::size_t>> children_;
+  std::vector<std::size_t> top_;                   // virtual root children
+  std::vector<std::size_t> depth_;                 // 1 = top level
+};
+
+}  // namespace drt::baselines
+
+#endif  // DRT_BASELINES_CONTAINMENT_TREE_H

@@ -1,0 +1,117 @@
+#include "baselines/dimension_forest.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace drt::baselines {
+
+bool dimension_forest::interval_contains(std::size_t dim, std::size_t outer,
+                                         std::size_t inner) const {
+  return subs_[outer].lo[dim] <= subs_[inner].lo[dim] &&
+         subs_[outer].hi[dim] >= subs_[inner].hi[dim];
+}
+
+void dimension_forest::build(const std::vector<spatial::box>& subscriptions) {
+  subs_ = subscriptions;
+  const std::size_t n = subs_.size();
+  for (std::size_t dim = 0; dim < spatial::kDims; ++dim) {
+    auto& t = trees_[dim];
+    t.parent.assign(n, npos);
+    t.children.assign(n, {});
+    t.top.clear();
+    t.depth.assign(n, 1);
+
+    // Most specific interval container on this dimension alone.
+    for (std::size_t i = 0; i < n; ++i) {
+      double best_len = std::numeric_limits<double>::infinity();
+      std::size_t best = npos;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const bool ji = interval_contains(dim, j, i);
+        const bool ij = interval_contains(dim, i, j);
+        const bool strict = ji && (!ij || j < i);
+        if (!strict) continue;
+        const double len = subs_[j].hi[dim] - subs_[j].lo[dim];
+        if (len < best_len || (len == best_len && j < best)) {
+          best_len = len;
+          best = j;
+        }
+      }
+      t.parent[i] = best;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (t.parent[i] == npos) {
+        t.top.push_back(i);
+      } else {
+        t.children[t.parent[i]].push_back(i);
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t want =
+            t.parent[i] == npos ? 1 : t.depth[t.parent[i]] + 1;
+        if (t.depth[i] != want) {
+          t.depth[i] = want;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+dissemination dimension_forest::publish(std::size_t publisher,
+                                        const spatial::pt& value) {
+  dissemination d;
+  std::vector<bool> notified(subs_.size(), false);
+  for (std::size_t dim = 0; dim < spatial::kDims; ++dim) {
+    const auto& t = trees_[dim];
+    // Climb to the virtual root of this dimension's tree.
+    d.messages += t.depth.at(publisher);
+    std::vector<std::pair<std::size_t, std::size_t>> stack;
+    auto matches_dim = [&](std::size_t i) {
+      return subs_[i].lo[dim] <= value[dim] && value[dim] <= subs_[i].hi[dim];
+    };
+    for (const auto top : t.top) {
+      ++d.messages;
+      if (matches_dim(top)) stack.emplace_back(top, 1);
+    }
+    while (!stack.empty()) {
+      const auto [node, hops] = stack.back();
+      stack.pop_back();
+      // Notified on a per-dimension match: the §3.1 false-positive source.
+      if (!notified[node]) {
+        notified[node] = true;
+        d.receivers.push_back(node);
+      }
+      d.max_hops = std::max(d.max_hops, hops + t.depth.at(publisher));
+      for (const auto c : t.children[node]) {
+        ++d.messages;
+        if (matches_dim(c)) stack.emplace_back(c, hops + 1);
+      }
+    }
+  }
+  return d;
+}
+
+overlay_shape dimension_forest::shape() const {
+  overlay_shape s;
+  std::size_t link_total = 0;
+  for (const auto& t : trees_) {
+    s.max_degree = std::max(s.max_degree, t.top.size());
+    link_total += t.top.size();
+    for (std::size_t i = 0; i < subs_.size(); ++i) {
+      s.height = std::max(s.height, t.depth[i]);
+      s.max_degree = std::max(s.max_degree, t.children[i].size() + 1);
+      link_total += t.children[i].size() + 1;
+    }
+  }
+  s.routing_state = link_total;
+  s.avg_degree = subs_.empty() ? 0.0
+                               : static_cast<double>(link_total) /
+                                     static_cast<double>(subs_.size());
+  return s;
+}
+
+}  // namespace drt::baselines

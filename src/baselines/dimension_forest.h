@@ -1,0 +1,49 @@
+// Per-dimension containment forest in the style of [3] (Anceaume, Datta,
+// Gradinariu, Simon, Virgillito, ICDCS 2006): one containment tree per
+// attribute; a subscription registers in the tree of every attribute it
+// constrains, ordered by interval containment on that attribute alone.
+//
+// An event is routed down each tree by per-dimension interval matching; a
+// subscriber is notified as soon as it matches in *some* tree.  §3.1:
+// "this solution tends to produce flat trees with high fan-out and may
+// generate a significant number of false positives" — a subscriber whose
+// interval matches on one attribute receives events that miss its other
+// attributes.  Experiment E14 quantifies both effects.
+#ifndef DRT_BASELINES_DIMENSION_FOREST_H
+#define DRT_BASELINES_DIMENSION_FOREST_H
+
+#include <array>
+#include <vector>
+
+#include "baselines/baseline.h"
+
+namespace drt::baselines {
+
+class dimension_forest : public pubsub_baseline {
+ public:
+  void build(const std::vector<spatial::box>& subscriptions) override;
+  dissemination publish(std::size_t publisher,
+                        const spatial::pt& value) override;
+  overlay_shape shape() const override;
+  std::string name() const override { return "dimension_forest"; }
+
+ private:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  struct tree {
+    std::vector<std::size_t> parent;                // npos = virtual root
+    std::vector<std::vector<std::size_t>> children;
+    std::vector<std::size_t> top;
+    std::vector<std::size_t> depth;
+  };
+
+  bool interval_contains(std::size_t dim, std::size_t outer,
+                         std::size_t inner) const;
+
+  std::vector<spatial::box> subs_;
+  std::array<tree, spatial::kDims> trees_;
+};
+
+}  // namespace drt::baselines
+
+#endif  // DRT_BASELINES_DIMENSION_FOREST_H

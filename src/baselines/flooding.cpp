@@ -1,0 +1,74 @@
+#include "baselines/flooding.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace drt::baselines {
+
+void flooding::build(const std::vector<spatial::box>& subscriptions) {
+  n_ = subscriptions.size();
+  neighbors_.assign(n_, {});
+  if (n_ < 2) return;
+  util::rng rng(seed_);
+  // Ring for connectivity plus random chords up to the target degree.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto next = (i + 1) % n_;
+    neighbors_[i].push_back(next);
+    neighbors_[next].push_back(i);
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    while (neighbors_[i].size() < degree_ && neighbors_[i].size() < n_ - 1) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n_) - 1));
+      if (j == i) continue;
+      if (std::find(neighbors_[i].begin(), neighbors_[i].end(), j) !=
+          neighbors_[i].end()) {
+        continue;
+      }
+      neighbors_[i].push_back(j);
+      neighbors_[j].push_back(i);
+    }
+  }
+}
+
+dissemination flooding::publish(std::size_t publisher,
+                                const spatial::pt& /*value*/) {
+  dissemination d;
+  if (n_ == 0) return d;
+  // Classic flood: each peer forwards once to every neighbor except the
+  // one it heard from.
+  std::vector<bool> seen(n_, false);
+  std::deque<std::pair<std::size_t, std::size_t>> frontier;
+  frontier.emplace_back(publisher, 0);
+  seen[publisher] = true;
+  while (!frontier.empty()) {
+    const auto [node, hops] = frontier.front();
+    frontier.pop_front();
+    d.receivers.push_back(node);
+    d.max_hops = std::max(d.max_hops, hops);
+    for (const auto next : neighbors_[node]) {
+      ++d.messages;  // forwarded even to already-seen peers
+      if (!seen[next]) {
+        seen[next] = true;
+        frontier.emplace_back(next, hops + 1);
+      }
+    }
+  }
+  return d;
+}
+
+overlay_shape flooding::shape() const {
+  overlay_shape s;
+  std::size_t link_total = 0;
+  for (const auto& nb : neighbors_) {
+    s.max_degree = std::max(s.max_degree, nb.size());
+    link_total += nb.size();
+  }
+  s.routing_state = link_total;
+  s.avg_degree =
+      n_ == 0 ? 0.0 : static_cast<double>(link_total) / static_cast<double>(n_);
+  s.height = 0;  // flat gossip mesh
+  return s;
+}
+
+}  // namespace drt::baselines

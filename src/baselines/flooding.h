@@ -1,0 +1,36 @@
+// Flooding over a random k-regular-ish overlay: every publication reaches
+// every peer.  The accuracy worst case the paper's §3.1 warns about ("the
+// propagation of an event may degenerate into a broadcast reaching all
+// consumer nodes irrespective of their interests") — zero false negatives
+// by construction, maximal false positives and message cost.
+#ifndef DRT_BASELINES_FLOODING_H
+#define DRT_BASELINES_FLOODING_H
+
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "util/rng.h"
+
+namespace drt::baselines {
+
+class flooding : public pubsub_baseline {
+ public:
+  explicit flooding(std::size_t degree = 4, std::uint64_t seed = 1)
+      : degree_(degree), seed_(seed) {}
+
+  void build(const std::vector<spatial::box>& subscriptions) override;
+  dissemination publish(std::size_t publisher,
+                        const spatial::pt& value) override;
+  overlay_shape shape() const override;
+  std::string name() const override { return "flooding"; }
+
+ private:
+  std::size_t degree_;
+  std::uint64_t seed_;
+  std::size_t n_ = 0;
+  std::vector<std::vector<std::size_t>> neighbors_;
+};
+
+}  // namespace drt::baselines
+
+#endif  // DRT_BASELINES_FLOODING_H

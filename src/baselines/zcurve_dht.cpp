@@ -1,0 +1,210 @@
+#include "baselines/zcurve_dht.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace drt::baselines {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Clockwise ring distance from a to b in the 2^64 key space.
+std::uint64_t ring_distance(std::uint64_t a, std::uint64_t b) {
+  return b - a;  // modular arithmetic handles the wrap
+}
+
+}  // namespace
+
+std::uint32_t zcurve_dht::morton(std::uint32_t x, std::uint32_t y) {
+  auto spread = [](std::uint32_t v) {
+    std::uint64_t r = v;
+    r = (r | (r << 8)) & 0x00FF00FFULL;
+    r = (r | (r << 4)) & 0x0F0F0F0FULL;
+    r = (r | (r << 2)) & 0x33333333ULL;
+    r = (r | (r << 1)) & 0x55555555ULL;
+    return static_cast<std::uint32_t>(r);
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+std::uint32_t zcurve_dht::cell_of(const spatial::pt& value) const {
+  const auto cells = std::uint32_t{1} << grid_bits_;
+  auto coord = [&](std::size_t dim) {
+    const double span = workspace_.hi[dim] - workspace_.lo[dim];
+    double frac = (value[dim] - workspace_.lo[dim]) / span;
+    frac = std::clamp(frac, 0.0, 1.0);
+    auto c = static_cast<std::uint32_t>(frac * cells);
+    return std::min(c, cells - 1);
+  };
+  return morton(coord(0), coord(1));
+}
+
+std::uint64_t zcurve_dht::key_of_cell(std::uint32_t z) const {
+  const auto total_bits = 2 * grid_bits_;
+  // Spread cell keys uniformly over the 64-bit ring.
+  return static_cast<std::uint64_t>(z) << (64 - total_bits);
+}
+
+std::vector<std::uint32_t> zcurve_dht::cells_of_rect(
+    const spatial::box& r) const {
+  const auto cells = std::uint32_t{1} << grid_bits_;
+  auto lo_coord = [&](std::size_t dim, double v) {
+    const double span = workspace_.hi[dim] - workspace_.lo[dim];
+    const double frac = std::clamp((v - workspace_.lo[dim]) / span, 0.0, 1.0);
+    return std::min(static_cast<std::uint32_t>(frac * cells), cells - 1);
+  };
+  const auto x0 = lo_coord(0, r.lo[0]);
+  const auto x1 = lo_coord(0, r.hi[0]);
+  const auto y0 = lo_coord(1, r.lo[1]);
+  const auto y1 = lo_coord(1, r.hi[1]);
+  std::vector<std::uint32_t> out;
+  out.reserve(static_cast<std::size_t>(x1 - x0 + 1) * (y1 - y0 + 1));
+  for (std::uint32_t x = x0; x <= x1; ++x) {
+    for (std::uint32_t y = y0; y <= y1; ++y) {
+      out.push_back(morton(x, y));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t zcurve_dht::successor(std::uint64_t key) const {
+  DRT_EXPECT(!ring_.empty());
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), key);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return ring_peer_[static_cast<std::size_t>(it - ring_.begin())];
+}
+
+std::size_t zcurve_dht::route(std::size_t from, std::uint64_t key) const {
+  // Greedy Chord routing: jump to the finger that most closely precedes
+  // the key until the current node's successor owns it.
+  const auto target = successor(key);
+  std::size_t current = from;
+  std::size_t hops = 0;
+  while (current != target && hops < 2 * ring_.size()) {
+    std::size_t best = static_cast<std::size_t>(-1);
+    std::uint64_t best_dist = ring_distance(peer_id_[current], key);
+    for (const auto f : fingers_[current]) {
+      const auto d = ring_distance(peer_id_[f], key);
+      // A finger strictly between current and the key (closer in ring
+      // distance) is a valid greedy jump.
+      if (d < best_dist && f != current) {
+        best_dist = d;
+        best = f;
+      }
+    }
+    if (best == static_cast<std::size_t>(-1)) {
+      // No finger improves: take the immediate successor step.
+      const auto it = std::upper_bound(ring_.begin(), ring_.end(),
+                                       peer_id_[current]);
+      const auto idx = it == ring_.end()
+                           ? 0
+                           : static_cast<std::size_t>(it - ring_.begin());
+      best = ring_peer_[idx];
+      if (best == current) break;  // singleton ring
+    }
+    current = best;
+    ++hops;
+  }
+  return hops;
+}
+
+void zcurve_dht::build(const std::vector<spatial::box>& subscriptions) {
+  subs_ = subscriptions;
+  const std::size_t n = subs_.size();
+  DRT_EXPECT(n > 0);
+
+  // Ring identifiers.
+  peer_id_.resize(n);
+  std::vector<std::pair<std::uint64_t, std::size_t>> slots;
+  slots.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    peer_id_[i] = splitmix64(seed_ ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    slots.emplace_back(peer_id_[i], i);
+  }
+  std::sort(slots.begin(), slots.end());
+  ring_.clear();
+  ring_peer_.clear();
+  for (const auto& [id, peer] : slots) {
+    ring_.push_back(id);
+    ring_peer_.push_back(peer);
+  }
+
+  // Finger tables: successor(id + 2^b) for b = 0..63, deduplicated.
+  fingers_.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t b = 0; b < 64; ++b) {
+      const auto f = successor(peer_id_[i] + (std::uint64_t{1} << b));
+      if (f != i &&
+          std::find(fingers_[i].begin(), fingers_[i].end(), f) ==
+              fingers_[i].end()) {
+        fingers_[i].push_back(f);
+      }
+    }
+  }
+
+  // Install subscriptions at the rendezvous owner of every covered cell.
+  stored_.assign(n, {});
+  install_messages_ = 0;
+  replicas_ = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto cells = cells_of_rect(subs_[s]);
+    std::size_t previous_owner = static_cast<std::size_t>(-1);
+    for (const auto z : cells) {
+      const auto owner = successor(key_of_cell(z));
+      if (owner == previous_owner) continue;  // same segment owner
+      previous_owner = owner;
+      install_messages_ += route(s, key_of_cell(z)) + 1;
+      if (std::find(stored_[owner].begin(), stored_[owner].end(), s) ==
+          stored_[owner].end()) {
+        stored_[owner].push_back(s);
+        ++replicas_;
+      }
+    }
+  }
+}
+
+dissemination zcurve_dht::publish(std::size_t publisher,
+                                  const spatial::pt& value) {
+  dissemination d;
+  const auto z = cell_of(value);
+  const auto owner = successor(key_of_cell(z));
+  const auto hops = route(publisher, key_of_cell(z));
+  d.messages += hops;
+  d.max_hops = hops;
+  // The rendezvous owner performs exact matching and notifies each
+  // interested subscriber directly.
+  for (const auto s : stored_[owner]) {
+    if (subs_[s].contains(value)) {
+      ++d.messages;
+      d.receivers.push_back(s);
+      d.max_hops = std::max(d.max_hops, hops + 1);
+    }
+  }
+  return d;
+}
+
+overlay_shape zcurve_dht::shape() const {
+  overlay_shape s;
+  std::size_t link_total = 0;
+  for (std::size_t i = 0; i < fingers_.size(); ++i) {
+    s.max_degree = std::max(s.max_degree, fingers_[i].size());
+    link_total += fingers_[i].size();
+  }
+  s.routing_state = link_total + replicas_;
+  s.avg_degree = fingers_.empty()
+                     ? 0.0
+                     : static_cast<double>(link_total) /
+                           static_cast<double>(fingers_.size());
+  s.height = 0;  // ring, not a tree
+  return s;
+}
+
+}  // namespace drt::baselines

@@ -1,0 +1,69 @@
+// DHT rendezvous baseline: a Chord-style ring with finger routing, plus a
+// Z-order (Morton) mapping of the 2-D filter space onto the 1-D key
+// space.  This is the design family of the DHT-based systems discussed in
+// §4 (Scribe/Bayeux/Meghdoot): logarithmic routing, but "the mapping of
+// complex filters to uni-dimensional name spaces results in poor
+// performance" — a rectangle shatters into many Z-cells whose keys
+// scatter over the ring, so subscription state and installation traffic
+// blow up.  Experiment E14 measures exactly that blowup next to the
+// DR-tree's per-peer polylogarithmic state.
+//
+// Matching itself is exact (the rendezvous owner checks the full filter
+// before notifying), so accuracy is perfect; the cost is state + traffic.
+#ifndef DRT_BASELINES_ZCURVE_DHT_H
+#define DRT_BASELINES_ZCURVE_DHT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/baseline.h"
+
+namespace drt::baselines {
+
+class zcurve_dht : public pubsub_baseline {
+ public:
+  /// grid_bits g: the workspace is a 2^g x 2^g grid (default 32 x 32).
+  explicit zcurve_dht(spatial::box workspace, std::size_t grid_bits = 5,
+                      std::uint64_t seed = 1)
+      : workspace_(workspace), grid_bits_(grid_bits), seed_(seed) {}
+
+  void build(const std::vector<spatial::box>& subscriptions) override;
+  dissemination publish(std::size_t publisher,
+                        const spatial::pt& value) override;
+  overlay_shape shape() const override;
+  std::string name() const override { return "zcurve_dht"; }
+
+  /// Messages spent installing all subscriptions (the update-cost side of
+  /// the 1-D mapping critique).
+  std::uint64_t install_messages() const { return install_messages_; }
+  /// Total (peer, subscription) replicas stored at rendezvous nodes.
+  std::size_t replicas() const { return replicas_; }
+
+  // Exposed for unit tests.
+  static std::uint32_t morton(std::uint32_t x, std::uint32_t y);
+  std::uint32_t cell_of(const spatial::pt& value) const;
+
+ private:
+  std::uint64_t key_of_cell(std::uint32_t z) const;
+  std::size_t successor(std::uint64_t key) const;  ///< peer index
+  /// Chord greedy finger routing; returns hop count.
+  std::size_t route(std::size_t from, std::uint64_t key) const;
+  std::vector<std::uint32_t> cells_of_rect(const spatial::box& r) const;
+
+  spatial::box workspace_;
+  std::size_t grid_bits_;
+  std::uint64_t seed_;
+
+  std::vector<spatial::box> subs_;
+  std::vector<std::uint64_t> ring_;         // sorted ring ids
+  std::vector<std::size_t> ring_peer_;      // peer index per ring slot
+  std::vector<std::uint64_t> peer_id_;      // ring id per peer index
+  std::vector<std::vector<std::size_t>> fingers_;  // per peer: peer indexes
+  std::vector<std::vector<std::size_t>> stored_;   // per peer: sub indexes
+  std::uint64_t install_messages_ = 0;
+  std::size_t replicas_ = 0;
+};
+
+}  // namespace drt::baselines
+
+#endif  // DRT_BASELINES_ZCURVE_DHT_H

@@ -1,0 +1,89 @@
+// Configuration of the DR-tree overlay protocol.
+#ifndef DRT_DRTREE_CONFIG_H
+#define DRT_DRTREE_CONFIG_H
+
+#include <cstddef>
+
+#include "rtree/split.h"
+#include "sim/simulator.h"
+#include "spatial/types.h"
+
+namespace drt::overlay {
+
+/// Parent/root election policy.  The paper (Fig. 6) elects the member
+/// whose MBR has the largest coverage area; the alternatives exist for the
+/// ablation experiment E12.
+enum class election_policy {
+  largest_mbr,   ///< the paper's rule
+  smallest_mbr,  ///< adversarial control
+  random_member  ///< containment-oblivious control
+};
+
+inline const char* to_string(election_policy p) {
+  switch (p) {
+    case election_policy::largest_mbr: return "largest_mbr";
+    case election_policy::smallest_mbr: return "smallest_mbr";
+    case election_policy::random_member: return "random";
+  }
+  return "?";
+}
+
+/// Which stabilization modules run on the periodic timer.  Disabling
+/// modules is used by failure-injection tests to show each module is
+/// *necessary* (the structure then fails to recover from the fault class
+/// that module repairs).
+struct stabilizer_switches {
+  bool check_mbr = true;        // Fig. 10
+  bool check_parent = true;     // Fig. 11
+  bool check_children = true;   // Fig. 12
+  bool check_cover = true;      // Fig. 13
+  bool check_structure = true;  // Fig. 14
+};
+
+struct dr_config {
+  /// R-tree degree bounds: every non-root interior node keeps between
+  /// min_children (m) and max_children (M) children; the paper requires
+  /// M >= 2m so splits can honor the lower bound.
+  std::size_t min_children = 2;   ///< m
+  std::size_t max_children = 8;   ///< M
+
+  rtree::split_method split = rtree::split_method::quadratic;
+  election_policy election = election_policy::largest_mbr;
+  stabilizer_switches stabilizers{};
+
+  /// Period of each peer's stabilization timer (virtual time).  The paper
+  /// calls this the "timeout" driving the CHECK_* events.
+  sim::sim_time stabilize_period = 10.0;
+
+  /// When true the FP-driven parent/child exchange of §3.2 ("Dynamic
+  /// Reorganizations") runs on the stabilization timer (experiment E15).
+  bool fp_reorganization = false;
+
+  /// Controlled-departure repair strategy.  The paper's baseline (Fig. 9)
+  /// merely notifies the parent and "relies on the stabilization
+  /// mechanisms for repairing the subtree rooted at the departing node";
+  /// it also notes "much more efficient variants are possible if the
+  /// leave module drives the repair process and reconnects whole
+  /// subtrees".  With this flag the departing peer hands each of its
+  /// instance groups to a freshly elected leader on its way out, so no
+  /// subtree ever needs to rejoin through the oracle.
+  bool efficient_leave = false;
+
+  /// Hop budget on routed messages: prevents livelock while routing over
+  /// corrupted (possibly cyclic) parent pointers.  Generous — legal
+  /// routes are O(log N).
+  std::size_t max_route_hops = 64;
+
+  /// The workspace used to clamp unbounded filters for area heuristics.
+  spatial::box workspace = geo::make_rect2(0, 0, 1000, 1000);
+
+  /// When true, joins are routed up to the root before descending (the
+  /// paper's default: "the odds of finding a good position ... are best
+  /// when starting from the root").  When false, the descent starts at
+  /// the contact node (measured in E5).
+  bool join_via_root = true;
+};
+
+}  // namespace drt::overlay
+
+#endif  // DRT_DRTREE_CONFIG_H

@@ -1,0 +1,53 @@
+// Transient-fault injector: drives the self-stabilization experiments
+// (Lemma 3.6 / E8) by mutating peers' protocol variables arbitrarily —
+// parent pointers, children sets, MBR values, underloaded flags, and whole
+// instances — exactly the fault model of §2.1 ("their memories and
+// programs can be corrupted").
+#ifndef DRT_DRTREE_CORRUPTOR_H
+#define DRT_DRTREE_CORRUPTOR_H
+
+#include <cstdint>
+
+#include "drtree/overlay.h"
+#include "util/rng.h"
+
+namespace drt::overlay {
+
+struct corruption_config {
+  double parent_rate = 0.0;    ///< per-instance chance to scramble parent
+  double children_rate = 0.0;  ///< per-instance chance to scramble children
+  double mbr_rate = 0.0;       ///< per-instance chance to scramble the MBR
+  double flag_rate = 0.0;      ///< per-instance chance to flip underloaded
+  double drop_instance_rate = 0.0;  ///< per-peer chance to drop its top
+  double fake_instance_rate = 0.0;  ///< per-peer chance to invent a level
+};
+
+/// Uniform "corrupt everything a little" preset used by E8.
+corruption_config uniform_corruption(double rate);
+
+class corruptor {
+ public:
+  corruptor(dr_overlay& overlay, std::uint64_t seed)
+      : overlay_(overlay), rng_(seed) {}
+
+  /// Apply randomized mutations; returns the number performed.
+  std::size_t corrupt(const corruption_config& cfg);
+
+  // Targeted primitives (also used by unit tests).
+  void scramble_parent(spatial::peer_id p, std::size_t h);
+  void scramble_children(spatial::peer_id p, std::size_t h);
+  void scramble_mbr(spatial::peer_id p, std::size_t h);
+  void flip_underloaded(spatial::peer_id p, std::size_t h);
+  void drop_top_instance(spatial::peer_id p);
+  void fabricate_instance(spatial::peer_id p);
+
+ private:
+  spatial::peer_id random_peer();
+
+  dr_overlay& overlay_;
+  util::rng rng_;
+};
+
+}  // namespace drt::overlay
+
+#endif  // DRT_DRTREE_CORRUPTOR_H

@@ -1,0 +1,67 @@
+#include "drtree/dot.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace drt::overlay {
+
+std::string to_dot_instances(const dr_overlay& overlay) {
+  std::ostringstream out;
+  out << "digraph drtree {\n  rankdir=TB;\n  node [shape=box];\n";
+  // Group instances of equal height on one rank.
+  std::map<std::size_t, std::vector<std::string>> ranks;
+  for (const auto p : overlay.live_peers()) {
+    const auto& peer = overlay.peer(p);
+    for (const auto h : peer.instance_heights()) {
+      std::ostringstream name;
+      name << "\"p" << p << "@h" << h << "\"";
+      ranks[h].push_back(name.str());
+      const auto& ins = peer.inst(h);
+      const bool root = h == peer.top() && ins.parent == p;
+      out << "  " << name.str() << " [label=\"" << p << " @" << h;
+      if (root) out << " (root)";
+      out << "\"";
+      if (root) out << ", style=bold";
+      out << "];\n";
+      if (h > 0) {
+        for (const auto c : ins.children) {
+          out << "  " << name.str() << " -> \"p" << c << "@h" << (h - 1)
+              << "\";\n";
+        }
+      }
+    }
+  }
+  for (const auto& [h, names] : ranks) {
+    out << "  { rank=same;";
+    for (const auto& n : names) out << ' ' << n << ';';
+    out << " }\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot_peers(const dr_overlay& overlay) {
+  std::ostringstream out;
+  out << "graph drtree_peers {\n  node [shape=circle];\n";
+  std::set<std::pair<spatial::peer_id, spatial::peer_id>> edges;
+  auto add_edge = [&](spatial::peer_id a, spatial::peer_id b) {
+    if (a == b) return;
+    edges.insert({std::min(a, b), std::max(a, b)});
+  };
+  for (const auto p : overlay.live_peers()) {
+    const auto& peer = overlay.peer(p);
+    for (const auto h : peer.instance_heights()) {
+      const auto& ins = peer.inst(h);
+      for (const auto c : ins.children) add_edge(p, c);
+      if (h == peer.top() && ins.parent != p) add_edge(p, ins.parent);
+    }
+  }
+  for (const auto& [a, b] : edges) {
+    out << "  " << a << " -- " << b << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace drt::overlay

@@ -1,0 +1,23 @@
+// Graphviz DOT rendering of the DR-tree's logical structure (Fig. 4) and
+// peer-level communication graph (Fig. 5) — debugging and documentation
+// aid for examples and failure reports.
+#ifndef DRT_DRTREE_DOT_H
+#define DRT_DRTREE_DOT_H
+
+#include <string>
+
+#include "drtree/overlay.h"
+
+namespace drt::overlay {
+
+/// The instance tree: one node per (peer, height) instance, edges from
+/// parent instances to child instances, root highlighted.
+std::string to_dot_instances(const dr_overlay& overlay);
+
+/// The communication graph: one node per peer, an undirected edge per
+/// neighbor relation (parent/child at any height).
+std::string to_dot_peers(const dr_overlay& overlay);
+
+}  // namespace drt::overlay
+
+#endif  // DRT_DRTREE_DOT_H

@@ -1,0 +1,92 @@
+// Protocol messages of the DR-tree overlay (Figures 8-14 of the paper).
+//
+// All messages are one value type dispatched on `kind`; unused fields stay
+// defaulted.  Heights count from the leaves (leaf = 0), see DESIGN.md §5 —
+// the paper's level l at a node of height h is l = root_height - h.
+#ifndef DRT_DRTREE_MESSAGES_H
+#define DRT_DRTREE_MESSAGES_H
+
+#include <cstdint>
+
+#include "spatial/types.h"
+
+namespace drt::overlay {
+
+enum class msg_kind : std::uint8_t {
+  // Membership (Figures 8 and 9).
+  join_request,   ///< route a joining subtree toward the insertion point
+  add_child,      ///< attach subtree `subject` at height `h` (Fig. 8)
+  leave,          ///< controlled departure of child `subject` (Fig. 9)
+
+  // Stabilization triggers that travel between peers (Figures 9, 14).
+  check_structure,          ///< compaction request at height `h`
+  initiate_new_connection,  ///< dissolve subtree: every leaf rejoins
+
+  // Event dissemination (§2.3/§3).
+  event_up,    ///< event climbing toward the root
+  event_down,  ///< event descending a subtree at height `h`
+
+  // Distributed range search (§1: the balanced structure "makes it
+  // suitable for performing efficient data storage or search").
+  search_up,    ///< query climbing toward the root
+  search_down,  ///< query descending a subtree at height `h`
+  search_hit,   ///< a leaf whose filter intersects the query reports back
+};
+
+inline const char* to_string(msg_kind k) {
+  switch (k) {
+    case msg_kind::join_request: return "JOIN";
+    case msg_kind::add_child: return "ADD_CHILD";
+    case msg_kind::leave: return "LEAVE";
+    case msg_kind::check_structure: return "CHECK_STRUCTURE";
+    case msg_kind::initiate_new_connection: return "INITIATE_NEW_CONNECTION";
+    case msg_kind::event_up: return "EVENT_UP";
+    case msg_kind::event_down: return "EVENT_DOWN";
+    case msg_kind::search_up: return "SEARCH_UP";
+    case msg_kind::search_down: return "SEARCH_DOWN";
+    case msg_kind::search_hit: return "SEARCH_HIT";
+  }
+  return "?";
+}
+
+struct dr_msg {
+  msg_kind kind = msg_kind::join_request;
+
+  /// The peer the message is about (joining subtree root, leaving child,
+  /// subtree to attach, ...).  Not necessarily the sender.
+  spatial::peer_id subject = spatial::kNoPeer;
+
+  /// Height the operation applies to (see file comment).
+  std::size_t h = 0;
+
+  /// MBR of the subject subtree (join/add_child) — carried so the
+  /// receiver can route without a remote read.
+  spatial::box mbr = spatial::box::empty();
+
+  /// Remaining hop budget for routed messages.
+  std::size_t hops_left = 0;
+
+  /// join_request phase: false while climbing to the root, true while
+  /// descending toward the insertion point (Fig. 8).
+  bool descending = false;
+
+  /// Event payload (event_up / event_down).
+  spatial::event ev{};
+
+  /// Network messages traversed so far by this event copy (latency metric
+  /// of experiment E11).
+  std::size_t hop = 0;
+
+  /// search_*: query identity and the peer collecting the hits.
+  std::uint64_t query_id = 0;
+  spatial::peer_id reply_to = spatial::kNoPeer;
+};
+
+/// Timer types (sim::process::on_timer).
+enum : std::uint64_t {
+  kTimerStabilize = 1,  ///< periodic CHECK_* pass (the paper's timeout)
+};
+
+}  // namespace drt::overlay
+
+#endif  // DRT_DRTREE_MESSAGES_H

@@ -1,0 +1,172 @@
+#include "drtree/overlay.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/expect.h"
+
+namespace drt::overlay {
+
+using spatial::kNoPeer;
+using spatial::peer_id;
+
+dr_overlay::dr_overlay(dr_config config, sim::simulator_config sim_cfg)
+    : config_(config), sim_(sim_cfg) {
+  DRT_EXPECT(config_.min_children >= 1);
+  DRT_EXPECT(config_.max_children >= 2 * config_.min_children);
+}
+
+peer_id dr_overlay::add_peer(const spatial::box& filter) {
+  auto p = std::make_unique<dr_peer>(*this, filter);
+  const auto id = static_cast<peer_id>(sim_.add_process(std::move(p)));
+  auto& created = peer(id);
+  created.start_join(contact_node(id));
+  return id;
+}
+
+peer_id dr_overlay::add_peer_and_settle(const spatial::box& filter,
+                                        std::uint64_t max_steps) {
+  const auto id = add_peer(filter);
+  sim_.run_steps(max_steps);
+  return id;
+}
+
+void dr_overlay::controlled_leave(peer_id p) {
+  DRT_EXPECT(alive(p));
+  if (config_.efficient_leave) {
+    peer(p).leave_with_handoff();
+  } else {
+    peer(p).announce_leave();
+  }
+  sim_.crash(p);
+}
+
+void dr_overlay::crash(peer_id p) { sim_.crash(p); }
+
+dr_peer& dr_overlay::peer(peer_id p) {
+  return static_cast<dr_peer&>(sim_.get(p));
+}
+
+const dr_peer& dr_overlay::peer(peer_id p) const {
+  return static_cast<const dr_peer&>(sim_.get(p));
+}
+
+std::vector<peer_id> dr_overlay::live_peers() const {
+  std::vector<peer_id> out;
+  for (const auto id : sim_.live_processes()) {
+    out.push_back(static_cast<peer_id>(id));
+  }
+  return out;
+}
+
+repair_stats dr_overlay::total_repairs() const {
+  repair_stats total;
+  for (std::size_t i = 0; i < sim_.process_count(); ++i) {
+    total += peer(static_cast<peer_id>(i)).repairs();
+  }
+  return total;
+}
+
+std::vector<peer_id> dr_overlay::root_peers() const {
+  std::vector<peer_id> roots;
+  for (const auto id : live_peers()) {
+    if (peer(id).is_root()) roots.push_back(id);
+  }
+  return roots;
+}
+
+peer_id dr_overlay::current_root() const {
+  const auto roots = root_peers();
+  return roots.size() == 1 ? roots.front() : kNoPeer;
+}
+
+peer_id dr_overlay::contact_node(peer_id asking) const {
+  if (oracle == oracle_mode::root) {
+    const auto root = current_root();
+    if (root != kNoPeer && root != asking) return root;
+  }
+  const auto live = live_peers();
+  std::vector<peer_id> candidates;
+  candidates.reserve(live.size());
+  for (const auto id : live) {
+    if (id != asking) candidates.push_back(id);
+  }
+  if (candidates.empty()) return kNoPeer;
+  auto& rng = const_cast<dr_overlay*>(this)->sim_.rng();
+  return candidates[rng.index(candidates.size())];
+}
+
+void dr_overlay::record_delivery(std::uint64_t event_id, peer_id p,
+                                 std::size_t hop) {
+  deliveries_[event_id].insert(p);
+  auto& worst = delivery_hops_[event_id];
+  worst = std::max(worst, hop);
+}
+
+publish_result dr_overlay::publish_and_drain(peer_id publisher,
+                                             const spatial::pt& value,
+                                             std::uint64_t max_steps) {
+  DRT_EXPECT(alive(publisher));
+  spatial::event ev;
+  ev.id = next_event_id();
+  ev.publisher = publisher;
+  ev.value = value;
+
+  const auto msgs_before = sim_.metrics().messages_sent;
+  peer(publisher).publish(ev);
+  sim_.run_steps(max_steps);
+
+  publish_result r;
+  r.event_id = ev.id;
+  r.messages = sim_.metrics().messages_sent - msgs_before;
+  r.max_hops = delivery_hops_[ev.id];
+  const auto& delivered = deliveries_[ev.id];
+  for (const auto p : live_peers()) {
+    const bool interested = peer(p).filter().contains(value);
+    const bool got = delivered.count(p) > 0;
+    if (interested) ++r.interested;
+    if (got) {
+      ++r.delivered;
+      r.receivers.push_back(p);
+    }
+    if (got && !interested) ++r.false_positives;
+    if (!got && interested) ++r.false_negatives;
+  }
+  deliveries_.erase(ev.id);
+  delivery_hops_.erase(ev.id);
+  return r;
+}
+
+void dr_overlay::record_search_hit(std::uint64_t query_id, peer_id p,
+                                   std::size_t hop) {
+  search_hits_[query_id].insert(p);
+  auto& worst = search_hops_[query_id];
+  worst = std::max(worst, hop);
+}
+
+dr_overlay::search_result dr_overlay::search_and_drain(
+    peer_id origin, const spatial::box& query, std::uint64_t max_steps) {
+  DRT_EXPECT(alive(origin));
+  const auto query_id = next_event_id();
+  const auto msgs_before = sim_.metrics().messages_sent;
+  peer(origin).start_search(query_id, query);
+  sim_.run_steps(max_steps);
+
+  search_result r;
+  r.messages = sim_.metrics().messages_sent - msgs_before;
+  r.max_hops = search_hops_[query_id];
+  const auto& hits = search_hits_[query_id];
+  r.hits.assign(hits.begin(), hits.end());
+  std::sort(r.hits.begin(), r.hits.end());
+  for (const auto p : live_peers()) {
+    const bool expected = peer(p).filter().intersects(query);
+    const bool got = hits.count(p) > 0;
+    if (expected && !got) ++r.false_negatives;
+    if (!expected && got) ++r.false_positives;
+  }
+  search_hits_.erase(query_id);
+  search_hops_.erase(query_id);
+  return r;
+}
+
+}  // namespace drt::overlay

@@ -1,0 +1,148 @@
+// The DR-tree overlay: owns the simulator and the peer processes, provides
+// the membership API (join / controlled leave / crash), the contact oracle
+// the paper assumes ("at connection time, a subscriber invokes an oracle
+// that accurately provides a subscriber already in the structure"), and
+// the publish/subscribe accounting used by the experiments.
+#ifndef DRT_DRTREE_OVERLAY_H
+#define DRT_DRTREE_OVERLAY_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "drtree/config.h"
+#include "drtree/peer.h"
+#include "sim/simulator.h"
+#include "spatial/types.h"
+
+namespace drt::overlay {
+
+/// How Get_Contact_Node picks the entry point for (re)joins.
+enum class oracle_mode {
+  random_live,  ///< uniformly random live peer (realistic)
+  root,         ///< always the current root (fastest convergence)
+};
+
+/// Outcome of one publication, after the network drained.
+struct publish_result {
+  std::uint64_t event_id = 0;
+  std::size_t interested = 0;        ///< ground truth |{p : filter_p ∋ e}|
+  std::size_t delivered = 0;         ///< distinct peers that received e
+  std::size_t false_positives = 0;   ///< delivered but not interested
+  std::size_t false_negatives = 0;   ///< interested but not delivered
+  std::uint64_t messages = 0;        ///< network messages spent
+  std::size_t max_hops = 0;          ///< longest delivery path (E11)
+  std::vector<spatial::peer_id> receivers;  ///< live peers that received it
+};
+
+class dr_overlay {
+ public:
+  explicit dr_overlay(dr_config config = {}, sim::simulator_config sim = {});
+
+  dr_overlay(const dr_overlay&) = delete;
+  dr_overlay& operator=(const dr_overlay&) = delete;
+
+  // -------------------------------------------------------- membership
+  /// Create a peer with the given filter and start its join protocol
+  /// (via the oracle).  Does not advance time: call one of the run
+  /// helpers afterwards.
+  spatial::peer_id add_peer(const spatial::box& filter);
+
+  /// Convenience: add a peer and drain the network until its join
+  /// completes (or `max_steps` handler steps elapse).
+  spatial::peer_id add_peer_and_settle(const spatial::box& filter,
+                                       std::uint64_t max_steps = 100000);
+
+  /// Controlled departure (Fig. 9): the peer notifies its parent, then
+  /// disappears.
+  void controlled_leave(spatial::peer_id p);
+
+  /// Uncontrolled departure: the peer silently crashes.
+  void crash(spatial::peer_id p);
+
+  // ------------------------------------------------------------ access
+  dr_peer& peer(spatial::peer_id p);
+  const dr_peer& peer(spatial::peer_id p) const;
+  bool alive(spatial::peer_id p) const { return sim_.is_alive(p); }
+  std::vector<spatial::peer_id> live_peers() const;
+  std::size_t live_count() const { return live_peers().size(); }
+
+  /// Aggregate per-module repair counters over all peers (dead included:
+  /// their history still counts).
+  repair_stats total_repairs() const;
+
+  /// The unique root if exactly one live peer is a root, else kNoPeer.
+  spatial::peer_id current_root() const;
+  /// All live peers whose topmost instance points to themselves.
+  std::vector<spatial::peer_id> root_peers() const;
+
+  /// Get_Contact_Node(): a live peer other than `asking` per the oracle
+  /// mode; kNoPeer when none exists.
+  spatial::peer_id contact_node(spatial::peer_id asking) const;
+
+  // ----------------------------------------------------- dissemination
+  /// Publish from `publisher` and drain the network; returns accuracy and
+  /// cost accounting against brute-force ground truth.
+  publish_result publish_and_drain(spatial::peer_id publisher,
+                                   const spatial::pt& value,
+                                   std::uint64_t max_steps = 1000000);
+
+  /// Record that `p` received event `id` after `hop` messages (called by
+  /// peers).
+  void record_delivery(std::uint64_t event_id, spatial::peer_id p,
+                       std::size_t hop);
+
+  std::uint64_t next_event_id() { return next_event_id_++; }
+
+  // ------------------------------------------------------------ search
+  /// Result of one distributed range search (§1 "data storage or
+  /// search"): the subscriptions whose filters intersect the query.
+  struct search_result {
+    std::vector<spatial::peer_id> hits;
+    std::uint64_t messages = 0;
+    std::size_t max_hops = 0;
+    std::size_t false_negatives = 0;  ///< vs brute-force ground truth
+    std::size_t false_positives = 0;
+  };
+
+  /// Run a range query from `origin` and drain the network.
+  search_result search_and_drain(spatial::peer_id origin,
+                                 const spatial::box& query,
+                                 std::uint64_t max_steps = 1000000);
+
+  /// Called by peers when a SEARCH_HIT arrives (or a local hit occurs).
+  void record_search_hit(std::uint64_t query_id, spatial::peer_id p,
+                         std::size_t hop);
+
+  // --------------------------------------------------------- execution
+  sim::simulator& sim() { return sim_; }
+  const sim::simulator& sim() const { return sim_; }
+  const dr_config& config() const { return config_; }
+  util::rng& rng() { return sim_.rng(); }
+
+  /// Drain all in-flight work (join/leave/repair messages).
+  std::uint64_t settle(std::uint64_t max_steps = 1000000) {
+    return sim_.run_steps(max_steps);
+  }
+
+  /// Advance virtual time by `dt` (periodic stabilizers fire).
+  void advance(sim::sim_time dt) { sim_.run_until(sim_.now() + dt); }
+
+  oracle_mode oracle = oracle_mode::random_live;
+
+ private:
+  dr_config config_;
+  sim::simulator sim_;
+  std::uint64_t next_event_id_ = 1;
+  std::unordered_map<std::uint64_t, std::unordered_set<spatial::peer_id>>
+      deliveries_;
+  std::unordered_map<std::uint64_t, std::size_t> delivery_hops_;
+  std::unordered_map<std::uint64_t, std::unordered_set<spatial::peer_id>>
+      search_hits_;
+  std::unordered_map<std::uint64_t, std::size_t> search_hops_;
+};
+
+}  // namespace drt::overlay
+
+#endif  // DRT_DRTREE_OVERLAY_H

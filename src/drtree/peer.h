@@ -1,0 +1,234 @@
+// A DR-tree peer: one physical process owning one subscription and a chain
+// of tree-node *instances* (§3: "a subscriber is recursively its own child
+// in the subtree rooted at p", so a peer active at height h is active at
+// every height 0..h and maintains children/parent/MBR state per height).
+//
+// Heights count from the leaves (leaf instance = height 0); the paper's
+// levels count from the root.  Height numbering is stable when the root
+// splits (DESIGN.md §5).
+//
+// Execution model: protocol steps are triggered by simulator messages and
+// timers; a step may read, and for the paper's multi-node actions
+// (Adjust_Parent, Merge_Children, splits) atomically update, the state of
+// overlay neighbors — the same locally-atomic action granularity the
+// paper's pseudo-code and proofs use.
+#ifndef DRT_DRTREE_PEER_H
+#define DRT_DRTREE_PEER_H
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "drtree/config.h"
+#include "drtree/messages.h"
+#include "sim/simulator.h"
+#include "spatial/types.h"
+
+namespace drt::overlay {
+
+class dr_overlay;
+
+/// Per-height protocol variables (§3.2 "Data Structures"): the children
+/// set C^l_p, parent^l_p, mbr^l_p and the underloaded flag.
+struct instance {
+  std::vector<spatial::peer_id> children;
+  spatial::peer_id parent = spatial::kNoPeer;
+  spatial::box mbr = spatial::box::empty();
+  bool underloaded = false;
+
+  // §3.2 "Dynamic Reorganizations": false positives experienced by this
+  // instance, and the false positives each child *would* have experienced
+  // in its place (experiment E15).
+  std::uint64_t fp_self = 0;
+  std::uint64_t events_seen = 0;
+  std::unordered_map<spatial::peer_id, std::uint64_t> fp_child_would;
+
+  bool has_child(spatial::peer_id q) const;
+  void add_child(spatial::peer_id q);
+  bool remove_child(spatial::peer_id q);
+};
+
+/// Counts of repairs each stabilization module actually performed —
+/// instrumentation for the corruption experiments ("which module does the
+/// work"), aggregated overlay-wide by dr_overlay::total_repairs().
+struct repair_stats {
+  std::uint64_t mbr_fixed = 0;           ///< CHECK_MBR rewrote a value
+  std::uint64_t own_chain_fixed = 0;     ///< CHECK_PARENT local fix
+  std::uint64_t rejoins = 0;             ///< CHECK_PARENT oracle rejoins
+  std::uint64_t children_discarded = 0;  ///< CHECK_CHILDREN drops
+  std::uint64_t instances_dissolved = 0; ///< degenerate instance collapse
+  std::uint64_t cover_promotions = 0;    ///< CHECK_COVER role exchanges
+  std::uint64_t compactions = 0;         ///< CHECK_STRUCTURE merges
+  std::uint64_t redistributions = 0;     ///< CHECK_STRUCTURE borrows
+  std::uint64_t subtree_dissolutions = 0;///< INITIATE_NEW_CONNECTION sent
+
+  repair_stats& operator+=(const repair_stats& other) {
+    mbr_fixed += other.mbr_fixed;
+    own_chain_fixed += other.own_chain_fixed;
+    rejoins += other.rejoins;
+    children_discarded += other.children_discarded;
+    instances_dissolved += other.instances_dissolved;
+    cover_promotions += other.cover_promotions;
+    compactions += other.compactions;
+    redistributions += other.redistributions;
+    subtree_dissolutions += other.subtree_dissolutions;
+    return *this;
+  }
+};
+
+class dr_peer : public sim::process {
+ public:
+  dr_peer(dr_overlay& overlay, spatial::box filter);
+
+  // ------------------------------------------------------------- state
+  const spatial::box& filter() const { return filter_; }
+  spatial::peer_id pid() const { return static_cast<spatial::peer_id>(id()); }
+
+  bool has_instance(std::size_t h) const { return levels_.count(h) > 0; }
+  instance& inst(std::size_t h);                    ///< aborts if missing
+  const instance& inst(std::size_t h) const;        ///< aborts if missing
+  instance* find_inst(std::size_t h);
+  const instance* find_inst(std::size_t h) const;
+  instance& ensure_inst(std::size_t h);             ///< creates if missing
+  void erase_inst(std::size_t h);
+
+  /// Greatest height with an instance; peers always keep the leaf (0).
+  std::size_t top() const;
+  /// True iff the topmost instance designates this peer as its own parent
+  /// (the paper: "the parent of the root process is the process itself").
+  bool is_root() const;
+  /// All heights with instances, ascending (may be non-contiguous only
+  /// while corrupted).
+  std::vector<std::size_t> instance_heights() const;
+
+  const std::map<std::size_t, instance>& raw_levels() const { return levels_; }
+  std::map<std::size_t, instance>& mutable_levels() { return levels_; }
+  const repair_stats& repairs() const { return repairs_; }
+
+  // ------------------------------------------------- protocol (joins)
+  /// Connect this peer (leaf) through `contact` (§3.2 "Joins").  Pass the
+  /// peer's own id when it is the first/only node: it becomes the root.
+  void start_join(spatial::peer_id contact);
+
+  /// Controlled departure (§3.2, Fig. 9): notify the parent of the
+  /// topmost instance, then leave.  The caller crashes the process.
+  void announce_leave();
+
+  /// Efficient controlled departure (§3.2's "much more efficient
+  /// variants ... reconnect whole subtrees"): before leaving, hand every
+  /// instance group to a freshly elected leader, wiring the leaders into
+  /// a chain that replaces this peer — no orphaned subtree ever has to
+  /// rejoin through the oracle.  The caller crashes the process.
+  void leave_with_handoff();
+
+  /// Publish an event (§2.3/§3 dissemination).
+  void publish(const spatial::event& ev);
+
+  /// Start a distributed range search: route `query` to the root, then
+  /// down every subtree whose MBR intersects it; every leaf whose filter
+  /// intersects replies to this peer with SEARCH_HIT (collected by the
+  /// overlay under `query_id`).
+  void start_search(std::uint64_t query_id, const spatial::box& query);
+
+  // --------------------------------------- stabilization (Figs. 10-14)
+  // Public so unit tests can drive modules directly and deterministically.
+  void check_mbr(std::size_t h);        // Fig. 10
+  void check_parent(std::size_t h);     // Fig. 11
+  void check_children(std::size_t h);   // Fig. 12
+  void check_cover(std::size_t h);      // Fig. 13
+  void check_structure(std::size_t h);  // Fig. 14
+  /// One full pass of every enabled module over every instance height
+  /// (what the periodic timer runs).
+  void stabilize_pass();
+
+  // ------------------------------------------------------ sim::process
+  void on_start() override;
+  void on_message(sim::process_id from, std::uint64_t type,
+                  const void* payload) override;
+  void on_timer(std::uint64_t timer_type) override;
+
+ private:
+  // Message handlers.
+  void handle_join(const dr_msg& m);
+  void handle_add_child(const dr_msg& m);
+  void handle_leave(const dr_msg& m);
+  void handle_check_structure_msg(const dr_msg& m);
+  void handle_initiate_new_connection(const dr_msg& m);
+  void handle_event_up(spatial::peer_id from, const dr_msg& m);
+  void handle_event_down(const dr_msg& m);
+  void handle_search_up(const dr_msg& m);
+  void handle_search_down(const dr_msg& m);
+
+  // Join helpers.
+  void descend_join(std::size_t h, dr_msg m);
+  void root_grow(const dr_msg& m);
+  /// ADD_CHILD(q, t) of Fig. 8: attach subtree root q of height t under
+  /// this peer's instance at t+1 (splitting on overflow).
+  void add_child_at(std::size_t t, spatial::peer_id q,
+                    const spatial::box& q_mbr);
+
+  // Fig. 7 helper functions.
+  bool is_root_at(std::size_t h) const;
+  spatial::peer_id choose_best_child(std::size_t h,
+                                     const spatial::box& r) const;
+  void compute_mbr(std::size_t h);  // Compute_MBR(p, l)
+  bool is_better_mbr_cover(std::size_t h, spatial::peer_id q) const;
+  /// Adjust_Parent generalized to keep instance chains contiguous: q
+  /// replaces this peer at heights [h, top()].
+  void promote_child(std::size_t h, spatial::peer_id q);
+
+  /// Elect a group leader per the configured policy (Fig. 6: the member
+  /// with the largest MBR coverage).
+  spatial::peer_id elect(const std::vector<spatial::peer_id>& members,
+                         const std::vector<spatial::box>& mbrs) const;
+
+  /// Area clamped to the workspace so unbounded filters stay comparable.
+  double coverage_area(const spatial::box& b) const;
+
+  // Split path (Fig. 8, else-branch of ADD_CHILD).
+  void split_and_push(std::size_t h, spatial::peer_id extra,
+                      const spatial::box& extra_mbr);
+
+  // Compaction (Fig. 14).
+  spatial::peer_id search_compaction_candidate(std::size_t h,
+                                               spatial::peer_id q) const;
+  /// Best_Set_Cover: among s and t, who better covers the union of their
+  /// children sets (smaller uncovered area wins).
+  spatial::peer_id best_set_cover(std::size_t h, spatial::peer_id s,
+                                  spatial::peer_id t) const;
+  void compact(std::size_t h, spatial::peer_id q, spatial::peer_id cand);
+  void merge_children(std::size_t h, spatial::peer_id leader,
+                      spatial::peer_id absorbed);
+  /// Rebalance when no merge fits within M: borrow children for the
+  /// underloaded child `needy` (at h-1) from its richest sibling.
+  /// Returns true when `needy` reached the m bound.
+  bool redistribute(std::size_t h, spatial::peer_id needy);
+
+  // Dissemination helpers.  `hop` counts network messages traversed.
+  void deliver_local(const spatial::event& ev, std::size_t hop);
+  void forward_down(std::size_t h, const spatial::event& ev,
+                    std::size_t hop);
+  bool already_seen(std::uint64_t event_id);
+
+  // FP-driven reorganization (§3.2, E15).
+  void record_instance_event(std::size_t h, const spatial::event& ev);
+  void maybe_reorganize(std::size_t h);
+
+  void send_msg(spatial::peer_id to, dr_msg m);
+  void rejoin_fragment(std::size_t h);
+
+  dr_overlay& overlay_;
+  spatial::box filter_;
+  std::map<std::size_t, instance> levels_;
+  repair_stats repairs_;
+
+  // Dissemination loop guard under corrupted topologies: recently seen
+  // event ids (bounded ring).
+  std::vector<std::uint64_t> seen_events_;
+  std::size_t seen_cursor_ = 0;
+};
+
+}  // namespace drt::overlay
+
+#endif  // DRT_DRTREE_PEER_H

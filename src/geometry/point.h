@@ -1,0 +1,50 @@
+// D-dimensional point with double coordinates.
+//
+// Events in the publish/subscribe model are points: a value for every
+// attribute (Section 2.1 of the paper).
+#ifndef DRT_GEOMETRY_POINT_H
+#define DRT_GEOMETRY_POINT_H
+
+#include <array>
+#include <cstddef>
+#include <sstream>
+#include <string>
+
+namespace drt::geo {
+
+template <std::size_t D>
+struct point {
+  static_assert(D >= 1, "points need at least one dimension");
+
+  std::array<double, D> coords{};
+
+  constexpr double& operator[](std::size_t i) { return coords[i]; }
+  constexpr double operator[](std::size_t i) const { return coords[i]; }
+
+  static constexpr std::size_t dims() { return D; }
+
+  friend constexpr bool operator==(const point& a, const point& b) {
+    return a.coords == b.coords;
+  }
+  friend constexpr bool operator!=(const point& a, const point& b) {
+    return !(a == b);
+  }
+
+  std::string to_string() const {
+    std::ostringstream out;
+    out << '(';
+    for (std::size_t i = 0; i < D; ++i) {
+      if (i) out << ", ";
+      out << coords[i];
+    }
+    out << ')';
+    return out.str();
+  }
+};
+
+using point2 = point<2>;
+using point3 = point<3>;
+
+}  // namespace drt::geo
+
+#endif  // DRT_GEOMETRY_POINT_H

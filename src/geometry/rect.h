@@ -1,0 +1,220 @@
+// Axis-aligned D-dimensional rectangles (poly-space rectangles, §2.1) and
+// the MBR algebra used by every layer: union ("join"), intersection, area,
+// margin, enlargement, containment.
+//
+// Rectangles may be *unbounded* in any dimension (an attribute the filter
+// leaves undefined, Fig. 1): lo = -infinity and/or hi = +infinity.  An
+// *empty* rectangle is represented with inverted bounds (lo > hi) and is
+// the identity of `join`.
+#ifndef DRT_GEOMETRY_RECT_H
+#define DRT_GEOMETRY_RECT_H
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "geometry/point.h"
+
+namespace drt::geo {
+
+template <std::size_t D>
+struct rect {
+  static_assert(D >= 1, "rectangles need at least one dimension");
+
+  std::array<double, D> lo{};
+  std::array<double, D> hi{};
+
+  static constexpr std::size_t dims() { return D; }
+
+  /// The empty rectangle: join identity, contains nothing.
+  static constexpr rect empty() {
+    rect r;
+    for (std::size_t i = 0; i < D; ++i) {
+      r.lo[i] = std::numeric_limits<double>::infinity();
+      r.hi[i] = -std::numeric_limits<double>::infinity();
+    }
+    return r;
+  }
+
+  /// The whole space: unbounded in every dimension.
+  static constexpr rect universe() {
+    rect r;
+    for (std::size_t i = 0; i < D; ++i) {
+      r.lo[i] = -std::numeric_limits<double>::infinity();
+      r.hi[i] = std::numeric_limits<double>::infinity();
+    }
+    return r;
+  }
+
+  /// Degenerate rectangle covering exactly one point.
+  static constexpr rect at(const point<D>& p) {
+    rect r;
+    r.lo = p.coords;
+    r.hi = p.coords;
+    return r;
+  }
+
+  constexpr bool is_empty() const {
+    for (std::size_t i = 0; i < D; ++i) {
+      if (lo[i] > hi[i]) return true;
+    }
+    return false;
+  }
+
+  constexpr bool is_bounded() const {
+    for (std::size_t i = 0; i < D; ++i) {
+      if (lo[i] == -std::numeric_limits<double>::infinity() ||
+          hi[i] == std::numeric_limits<double>::infinity()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  constexpr bool contains(const point<D>& p) const {
+    for (std::size_t i = 0; i < D; ++i) {
+      if (p[i] < lo[i] || p[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  /// Containment is non-strict: every rect contains itself; everything
+  /// contains the empty rect (vacuously).
+  constexpr bool contains(const rect& r) const {
+    if (r.is_empty()) return true;
+    if (is_empty()) return false;
+    for (std::size_t i = 0; i < D; ++i) {
+      if (r.lo[i] < lo[i] || r.hi[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  constexpr bool intersects(const rect& r) const {
+    if (is_empty() || r.is_empty()) return false;
+    for (std::size_t i = 0; i < D; ++i) {
+      if (r.hi[i] < lo[i] || r.lo[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  /// Smallest rectangle containing both operands (the MBR union).
+  friend constexpr rect join(const rect& a, const rect& b) {
+    rect r;
+    for (std::size_t i = 0; i < D; ++i) {
+      r.lo[i] = std::min(a.lo[i], b.lo[i]);
+      r.hi[i] = std::max(a.hi[i], b.hi[i]);
+    }
+    return r;
+  }
+
+  friend constexpr rect intersection(const rect& a, const rect& b) {
+    rect r;
+    for (std::size_t i = 0; i < D; ++i) {
+      r.lo[i] = std::max(a.lo[i], b.lo[i]);
+      r.hi[i] = std::min(a.hi[i], b.hi[i]);
+    }
+    return r;
+  }
+
+  /// Hyper-volume.  Empty -> 0; unbounded -> +infinity; a degenerate
+  /// (zero-thickness) rect has area 0.
+  constexpr double area() const {
+    if (is_empty()) return 0.0;
+    double a = 1.0;
+    for (std::size_t i = 0; i < D; ++i) a *= hi[i] - lo[i];
+    return a;
+  }
+
+  /// Sum of edge lengths (the R*-tree "margin" criterion).
+  constexpr double margin() const {
+    if (is_empty()) return 0.0;
+    double m = 0.0;
+    for (std::size_t i = 0; i < D; ++i) m += hi[i] - lo[i];
+    return m;
+  }
+
+  /// Area growth required for this rect to also cover `r`.
+  constexpr double enlargement(const rect& r) const {
+    return join(*this, r).area() - area();
+  }
+
+  /// Area of the intersection (0 when disjoint or either empty).
+  constexpr double overlap_area(const rect& r) const {
+    const rect inter = intersection(*this, r);
+    return inter.is_empty() ? 0.0 : inter.area();
+  }
+
+  constexpr point<D> center() const {
+    point<D> c;
+    for (std::size_t i = 0; i < D; ++i) c[i] = (lo[i] + hi[i]) / 2.0;
+    return c;
+  }
+
+  /// Squared Euclidean distance from `p` to the nearest point of this
+  /// rectangle (0 when inside) — the MINDIST bound of R-tree
+  /// nearest-neighbor search.
+  constexpr double min_dist2(const point<D>& p) const {
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < D; ++i) {
+      double d = 0.0;
+      if (p[i] < lo[i]) {
+        d = lo[i] - p[i];
+      } else if (p[i] > hi[i]) {
+        d = p[i] - hi[i];
+      }
+      d2 += d * d;
+    }
+    return d2;
+  }
+
+  /// Clamp into `bounds`; maps unbounded filter dimensions onto a finite
+  /// workspace so that area-based heuristics stay comparable.
+  constexpr rect clamped(const rect& bounds) const {
+    rect r;
+    for (std::size_t i = 0; i < D; ++i) {
+      r.lo[i] = std::max(lo[i], bounds.lo[i]);
+      r.hi[i] = std::min(hi[i], bounds.hi[i]);
+    }
+    return r;
+  }
+
+  friend constexpr bool operator==(const rect& a, const rect& b) {
+    if (a.is_empty() && b.is_empty()) return true;
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend constexpr bool operator!=(const rect& a, const rect& b) {
+    return !(a == b);
+  }
+
+  std::string to_string() const {
+    if (is_empty()) return "[empty]";
+    std::ostringstream out;
+    out << '[';
+    for (std::size_t i = 0; i < D; ++i) {
+      if (i) out << " x ";
+      out << '(' << lo[i] << ".." << hi[i] << ')';
+    }
+    out << ']';
+    return out.str();
+  }
+};
+
+/// Convenience 2-D constructor matching the paper's
+/// ((x_min, y_min), (x_max, y_max)) notation.
+constexpr rect<2> make_rect2(double x_lo, double y_lo, double x_hi,
+                             double y_hi) {
+  rect<2> r;
+  r.lo = {x_lo, y_lo};
+  r.hi = {x_hi, y_hi};
+  return r;
+}
+
+using rect2 = rect<2>;
+using rect3 = rect<3>;
+
+}  // namespace drt::geo
+
+#endif  // DRT_GEOMETRY_RECT_H

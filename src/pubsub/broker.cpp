@@ -1,0 +1,145 @@
+#include "pubsub/broker.h"
+
+#include <algorithm>
+
+#include "drtree/checker.h"
+#include "util/expect.h"
+
+namespace drt::pubsub {
+
+using spatial::kNoPeer;
+using spatial::peer_id;
+
+broker::broker(broker_config config)
+    : config_(config), overlay_(config.dr, config.net) {}
+
+client_id broker::add_client() {
+  const auto id = next_client_++;
+  clients_.emplace(id, client_state{});
+  return id;
+}
+
+subscription_handle broker::subscribe(client_id client,
+                                      const spatial::box& filter) {
+  DRT_EXPECT(clients_.count(client) > 0);
+  DRT_EXPECT(!filter.is_empty());
+  const auto peer = overlay_.add_peer_and_settle(filter);
+  clients_[client].peers.push_back(peer);
+  owner_of_[peer] = client;
+  return {client, peer};
+}
+
+bool broker::unsubscribe(const subscription_handle& handle) {
+  auto it = clients_.find(handle.client);
+  if (it == clients_.end()) return false;
+  auto& peers = it->second.peers;
+  const auto pos = std::find(peers.begin(), peers.end(), handle.peer);
+  if (pos == peers.end()) return false;
+  if (overlay_.alive(handle.peer)) {
+    overlay_.controlled_leave(handle.peer);
+    overlay_.settle();
+  }
+  peers.erase(pos);
+  owner_of_.erase(handle.peer);
+  return true;
+}
+
+bool broker::remove_client(client_id client) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) return false;
+  for (const auto p : it->second.peers) {
+    if (overlay_.alive(p)) {
+      overlay_.controlled_leave(p);
+      overlay_.settle();
+    }
+    owner_of_.erase(p);
+  }
+  clients_.erase(it);
+  return true;
+}
+
+std::vector<spatial::box> broker::subscriptions_of(client_id client) const {
+  std::vector<spatial::box> out;
+  const auto it = clients_.find(client);
+  if (it == clients_.end()) return out;
+  for (const auto p : it->second.peers) {
+    if (overlay_.alive(p)) out.push_back(overlay_.peer(p).filter());
+  }
+  return out;
+}
+
+publish_outcome broker::publish(client_id publisher,
+                                const spatial::pt& value) {
+  DRT_EXPECT(clients_.count(publisher) > 0);
+
+  // Inject through one of the publisher's own subscribers when it has
+  // any, otherwise through any live overlay peer (a pure producer).
+  peer_id via = kNoPeer;
+  for (const auto p : clients_[publisher].peers) {
+    if (overlay_.alive(p)) {
+      via = p;
+      break;
+    }
+  }
+  if (via == kNoPeer) {
+    const auto live = overlay_.live_peers();
+    DRT_EXPECT(!live.empty());
+    via = live.front();
+  }
+
+  const auto r = overlay_.publish_and_drain(via, value);
+
+  publish_outcome out;
+  out.event_id = r.event_id;
+  out.messages = r.messages;
+
+  // Client-level aggregation: notified once per client, exact matching
+  // against the client's own filters.
+  std::vector<client_id> notified;
+  for (const auto p : r.receivers) {
+    const auto it = owner_of_.find(p);
+    if (it == owner_of_.end()) continue;
+    if (std::find(notified.begin(), notified.end(), it->second) ==
+        notified.end()) {
+      notified.push_back(it->second);
+    }
+  }
+  std::sort(notified.begin(), notified.end());
+  out.notified = notified;
+
+  spatial::event ev;
+  ev.id = r.event_id;
+  ev.publisher = via;
+  ev.value = value;
+  for (const auto& [client, state] : clients_) {
+    bool matches = false;
+    for (const auto p : state.peers) {
+      if (overlay_.alive(p) && overlay_.peer(p).filter().contains(value)) {
+        matches = true;
+        break;
+      }
+    }
+    const bool got = std::binary_search(notified.begin(), notified.end(),
+                                        client);
+    if (matches) ++out.matching_clients;
+    if (got && !matches) ++out.client_false_positives;
+    if (!got && matches) ++out.client_false_negatives;
+    if (got && on_delivery_) on_delivery_(client, ev);
+  }
+  return out;
+}
+
+int broker::stabilize(int max_rounds) {
+  for (int round = 0; round < max_rounds; ++round) {
+    if (overlay_legal()) return round;
+    overlay_.advance(config_.dr.stabilize_period);
+    overlay_.settle();
+  }
+  return overlay_legal() ? max_rounds : -1;
+}
+
+bool broker::overlay_legal() const {
+  return overlay::checker(overlay_).check().legal();
+}
+
+}  // namespace drt::pubsub

@@ -1,0 +1,118 @@
+// Application-facing publish/subscribe façade over the DR-tree overlay.
+//
+// The paper's exposition assumes one subscription per process "for the
+// sake of simplicity" (§2.1); real deployments host several.  The broker
+// implements the general case the standard way: each subscription becomes
+// one logical overlay subscriber (a DR-tree peer) owned by the client,
+// and deliveries are de-duplicated and exact-matched per client, so a
+// client with several overlapping filters receives each event once.
+//
+// This is the API a downstream application links against:
+//
+//   broker b(cfg);
+//   auto alice = b.add_client();
+//   auto sub = b.subscribe(alice, filter_rect);
+//   b.unsubscribe(sub);                  // controlled departure
+//   auto out = b.publish(alice, point);  // who got it, exactness stats
+#ifndef DRT_PUBSUB_BROKER_H
+#define DRT_PUBSUB_BROKER_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "drtree/overlay.h"
+#include "spatial/types.h"
+
+namespace drt::pubsub {
+
+using client_id = std::uint32_t;
+
+/// Identifies one registered subscription of one client.
+struct subscription_handle {
+  client_id client = 0;
+  spatial::peer_id peer = spatial::kNoPeer;  ///< owning overlay subscriber
+
+  friend bool operator==(const subscription_handle&,
+                         const subscription_handle&) = default;
+};
+
+struct broker_config {
+  overlay::dr_config dr{};
+  sim::simulator_config net{};
+};
+
+/// Outcome of one publication at client granularity.
+struct publish_outcome {
+  std::uint64_t event_id = 0;
+  std::vector<client_id> notified;     ///< clients that received the event
+  std::size_t matching_clients = 0;    ///< clients with a matching filter
+  std::size_t client_false_positives = 0;  ///< notified, nothing matched
+  std::size_t client_false_negatives = 0;  ///< matched, not notified
+  std::uint64_t messages = 0;
+};
+
+class broker {
+ public:
+  explicit broker(broker_config config = {});
+
+  broker(const broker&) = delete;
+  broker& operator=(const broker&) = delete;
+
+  // -------------------------------------------------------------- clients
+  client_id add_client();
+  std::size_t client_count() const { return clients_.size(); }
+
+  /// Register a filter for `client`; the filter joins the overlay as a
+  /// logical subscriber owned by the client.
+  subscription_handle subscribe(client_id client, const spatial::box& filter);
+
+  /// Controlled departure of one subscription (Fig. 9).  Returns false if
+  /// the handle is unknown or already removed.
+  bool unsubscribe(const subscription_handle& handle);
+
+  /// Remove a client entirely: every subscription departs (controlled),
+  /// future publishes from it are rejected.  Returns false if unknown.
+  bool remove_client(client_id client);
+
+  /// Filters currently registered by `client`.
+  std::vector<spatial::box> subscriptions_of(client_id client) const;
+
+  /// Optional push interface: invoked once per (event, notified client).
+  using delivery_callback =
+      std::function<void(client_id, const spatial::event&)>;
+  void set_delivery_callback(delivery_callback cb) { on_delivery_ = std::move(cb); }
+
+  // ---------------------------------------------------------- publication
+  /// Publish an event from one of `publisher`'s subscriptions (or, for a
+  /// publisher with none, through any overlay peer) and drain the
+  /// network.
+  publish_outcome publish(client_id publisher, const spatial::pt& value);
+
+  // --------------------------------------------------------------- admin
+  /// Run stabilization rounds until the overlay is legal (or the budget
+  /// runs out); returns rounds or -1.
+  int stabilize(int max_rounds = 100);
+  bool overlay_legal() const;
+
+  overlay::dr_overlay& raw_overlay() { return overlay_; }
+  const overlay::dr_overlay& raw_overlay() const { return overlay_; }
+
+ private:
+  struct client_state {
+    std::vector<spatial::peer_id> peers;  // live logical subscribers
+  };
+
+  broker_config config_;
+  overlay::dr_overlay overlay_;
+  std::unordered_map<client_id, client_state> clients_;
+  std::unordered_map<spatial::peer_id, client_id> owner_of_;
+  client_id next_client_ = 1;
+  delivery_callback on_delivery_;
+};
+
+}  // namespace drt::pubsub
+
+#endif  // DRT_PUBSUB_BROKER_H

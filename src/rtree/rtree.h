@@ -1,0 +1,584 @@
+// Sequential R-tree (Guttman [18]) with pluggable split policy and the R*
+// forced-reinsertion improvement [5].
+//
+// Role in this repo: (1) the reference index of §2.2/Figs. 2-3; (2) the
+// split-policy ablation substrate (E13) — the DR-tree overlay reuses the
+// identical split code; (3) the ground-truth matcher used to validate
+// overlay dissemination (an R-tree point query returns exactly the
+// subscriptions an event must reach: no false negatives, no false
+// positives).
+#ifndef DRT_RTREE_RTREE_H
+#define DRT_RTREE_RTREE_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "rtree/split.h"
+#include "util/expect.h"
+
+namespace drt::rtree {
+
+struct rtree_config {
+  std::size_t min_fill = 2;   ///< m: minimum entries per node (except root)
+  std::size_t max_fill = 8;   ///< M: maximum entries per node; M >= 2m
+  split_method method = split_method::quadratic;
+  bool rstar_reinsert = false;  ///< R* forced reinsertion on first overflow
+  double reinsert_fraction = 0.3;  ///< R* default: reinsert 30% of entries
+};
+
+/// Aggregate structure statistics (split-policy ablation, E13).
+struct rtree_stats {
+  std::size_t nodes = 0;
+  std::size_t leaves = 0;
+  std::size_t height = 0;           ///< 1 = root is a leaf
+  double interior_area = 0.0;       ///< sum of interior-node MBR areas
+  double interior_overlap = 0.0;    ///< pairwise sibling MBR overlap area
+  std::size_t splits = 0;           ///< cumulative since construction
+  std::size_t reinsertions = 0;     ///< cumulative since construction
+};
+
+template <std::size_t D>
+class rtree {
+ public:
+  using rect_t = geo::rect<D>;
+  using point_t = geo::point<D>;
+
+  explicit rtree(rtree_config config = {}) : config_(config) {
+    DRT_EXPECT(config_.min_fill >= 1);
+    DRT_EXPECT(config_.max_fill >= 2 * config_.min_fill);
+    root_ = std::make_unique<node>(/*leaf=*/true);
+  }
+
+  /// Sort-Tile-Recursive bulk loading: packs the items into a tree with
+  /// near-100% node utilization in O(N log N), far better coverage than
+  /// repeated insertion.  Items are (rectangle, payload) pairs.
+  static rtree bulk_load(std::vector<std::pair<rect_t, std::uint64_t>> items,
+                         rtree_config config = {}) {
+    rtree t(config);
+    if (items.empty()) return t;
+    t.size_ = items.size();
+
+    // Leaf level: sort by x-center, slice, sort each slice by y-center,
+    // pack runs of max_fill.
+    std::vector<std::unique_ptr<node>> level;
+    {
+      std::sort(items.begin(), items.end(),
+                [](const auto& a, const auto& b) {
+                  return a.first.center()[0] < b.first.center()[0];
+                });
+      const auto cap = config.max_fill;
+      const std::size_t pages =
+          (items.size() + cap - 1) / cap;
+      const auto slices = static_cast<std::size_t>(
+          std::ceil(std::sqrt(static_cast<double>(pages))));
+      const std::size_t per_slice =
+          (items.size() + slices - 1) / slices;
+      for (std::size_t s = 0; s < slices; ++s) {
+        const auto begin = std::min(s * per_slice, items.size());
+        const auto end = std::min(begin + per_slice, items.size());
+        if (begin >= end) break;
+        std::sort(items.begin() + static_cast<std::ptrdiff_t>(begin),
+                  items.begin() + static_cast<std::ptrdiff_t>(end),
+                  [](const auto& a, const auto& b) {
+                    return a.first.center()[1] < b.first.center()[1];
+                  });
+        for (std::size_t i = begin; i < end; i += cap) {
+          auto leaf = std::make_unique<node>(/*leaf=*/true);
+          for (std::size_t j = i; j < std::min(i + cap, end); ++j) {
+            entry e;
+            e.mbr = items[j].first;
+            e.payload = items[j].second;
+            leaf->entries.push_back(std::move(e));
+          }
+          level.push_back(std::move(leaf));
+        }
+      }
+      fix_min_fill(level, config.min_fill);
+    }
+
+    // Interior levels: pack node MBRs the same way until one remains.
+    while (level.size() > 1) {
+      std::sort(level.begin(), level.end(),
+                [](const auto& a, const auto& b) {
+                  return mbr_of(*a).center()[0] < mbr_of(*b).center()[0];
+                });
+      const auto cap = config.max_fill;
+      const std::size_t pages = (level.size() + cap - 1) / cap;
+      const auto slices = static_cast<std::size_t>(
+          std::ceil(std::sqrt(static_cast<double>(pages))));
+      const std::size_t per_slice = (level.size() + slices - 1) / slices;
+      std::vector<std::unique_ptr<node>> next;
+      for (std::size_t s = 0; s < slices; ++s) {
+        const auto begin = std::min(s * per_slice, level.size());
+        const auto end = std::min(begin + per_slice, level.size());
+        if (begin >= end) break;
+        std::sort(level.begin() + static_cast<std::ptrdiff_t>(begin),
+                  level.begin() + static_cast<std::ptrdiff_t>(end),
+                  [](const auto& a, const auto& b) {
+                    return mbr_of(*a).center()[1] < mbr_of(*b).center()[1];
+                  });
+        for (std::size_t i = begin; i < end; i += cap) {
+          auto parent = std::make_unique<node>(/*leaf=*/false);
+          for (std::size_t j = i; j < std::min(i + cap, end); ++j) {
+            entry e;
+            e.mbr = mbr_of(*level[j]);
+            e.child = std::move(level[j]);
+            parent->entries.push_back(std::move(e));
+          }
+          next.push_back(std::move(parent));
+        }
+      }
+      fix_min_fill(next, config.min_fill);
+      level = std::move(next);
+    }
+    t.root_ = std::move(level.front());
+    t.reinserted_levels_.assign(t.height(), false);
+    return t;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const rtree_config& config() const { return config_; }
+
+  /// Height in levels; 1 when the root is a leaf, 0 never.
+  std::size_t height() const { return height_of(*root_); }
+
+  rect_t bounding_box() const { return mbr_of(*root_); }
+
+  void insert(const rect_t& r, std::uint64_t payload) {
+    reinserted_levels_.assign(height(), false);
+    insert_entry(entry{r, nullptr, payload}, /*target_level=*/0);
+    ++size_;
+  }
+
+  /// Remove one entry equal to (r, payload); returns false if absent.
+  /// Follows Guttman's CondenseTree: underfull nodes are dissolved and
+  /// their entries reinserted at their original level.
+  bool erase(const rect_t& r, std::uint64_t payload) {
+    node* leaf = nullptr;
+    std::vector<node*> path;
+    find_leaf(*root_, r, payload, path, leaf);
+    if (leaf == nullptr) return false;
+    for (std::size_t i = 0; i < leaf->entries.size(); ++i) {
+      if (leaf->entries[i].payload == payload && leaf->entries[i].mbr == r) {
+        leaf->entries.erase(leaf->entries.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    condense(path);
+    --size_;
+    // Shrink the root if it has a single child and is not a leaf.
+    while (!root_->leaf && root_->entries.size() == 1) {
+      auto child = std::move(root_->entries[0].child);
+      root_ = std::move(child);
+    }
+    return true;
+  }
+
+  /// All payloads whose stored rectangle contains `p` (pub/sub matching:
+  /// the subscriptions an event must be delivered to).
+  std::vector<std::uint64_t> search_point(const point_t& p) const {
+    std::vector<std::uint64_t> out;
+    search_point_rec(*root_, p, out);
+    return out;
+  }
+
+  /// All payloads whose stored rectangle intersects `query`.
+  std::vector<std::uint64_t> search_intersects(const rect_t& query) const {
+    std::vector<std::uint64_t> out;
+    search_intersects_rec(*root_, query, out);
+    return out;
+  }
+
+  /// Branch-and-bound nearest-neighbor: the stored entry whose rectangle
+  /// is closest to `p` (MINDIST metric; 0 when `p` is inside).  Returns
+  /// (payload, squared distance); empty tree -> nullopt.
+  std::optional<std::pair<std::uint64_t, double>> nearest(
+      const point_t& p) const {
+    if (empty()) return std::nullopt;
+    std::uint64_t best_payload = 0;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    nearest_rec(*root_, p, best_payload, best_d2);
+    return std::make_pair(best_payload, best_d2);
+  }
+
+  /// Nodes visited by the last search (routing-cost metric).
+  mutable std::size_t last_nodes_visited = 0;
+
+  rtree_stats stats() const {
+    rtree_stats s;
+    s.height = height();
+    s.splits = splits_;
+    s.reinsertions = reinsertions_;
+    collect_stats(*root_, s);
+    return s;
+  }
+
+  /// Validate the R-tree invariants of §2.2; aborts on violation.  Used by
+  /// tests after randomized insert/erase workloads.
+  void check_invariants() const {
+    check_node(*root_, /*is_root=*/true, height());
+  }
+
+ private:
+  struct node;
+
+  struct entry {
+    rect_t mbr = rect_t::empty();
+    std::unique_ptr<node> child;  // interior entries
+    std::uint64_t payload = 0;    // leaf entries
+  };
+
+  struct node {
+    explicit node(bool is_leaf) : leaf(is_leaf) {}
+    bool leaf;
+    std::vector<entry> entries;
+  };
+
+  rtree_config config_;
+  std::unique_ptr<node> root_;
+  std::size_t size_ = 0;
+  std::size_t splits_ = 0;
+  std::size_t reinsertions_ = 0;
+  std::vector<bool> reinserted_levels_;  // R*: one forced reinsert per level
+
+  static rect_t mbr_of(const node& n) {
+    auto r = rect_t::empty();
+    for (const auto& e : n.entries) r = join(r, e.mbr);
+    return r;
+  }
+
+  /// Bulk-load helper: STR can leave the last packed node of a run below
+  /// min_fill; rebalance it with its predecessor (both end up >= m).
+  static void fix_min_fill(std::vector<std::unique_ptr<node>>& level,
+                           std::size_t min_fill) {
+    if (level.size() < 2) return;  // a lone root is exempt
+    auto& last = *level.back();
+    auto& prev = *level[level.size() - 2];
+    while (last.entries.size() < min_fill &&
+           prev.entries.size() > min_fill) {
+      last.entries.push_back(std::move(prev.entries.back()));
+      prev.entries.pop_back();
+    }
+    if (last.entries.size() < min_fill) {
+      // Predecessor cannot donate: merge the two nodes (stays <= M
+      // because min_fill <= M/2).
+      for (auto& e : last.entries) prev.entries.push_back(std::move(e));
+      level.pop_back();
+    }
+  }
+
+  std::size_t height_of(const node& n) const {
+    if (n.leaf) return 1;
+    DRT_ENSURE(!n.entries.empty());
+    return 1 + height_of(*n.entries.front().child);
+  }
+
+  /// Guttman ChooseLeaf / R* ChooseSubtree descent to `target_level`
+  /// levels above the leaves (0 = leaf).
+  node* choose_node(const rect_t& r, std::size_t target_level,
+                    std::vector<node*>& path) {
+    node* current = root_.get();
+    std::size_t level = height() - 1;  // levels above leaf of `current`
+    path.clear();
+    while (!current->leaf && level > target_level) {
+      path.push_back(current);
+      entry* best = nullptr;
+      double best_enlargement = std::numeric_limits<double>::infinity();
+      double best_area = std::numeric_limits<double>::infinity();
+      for (auto& e : current->entries) {
+        const double grow = e.mbr.enlargement(r);
+        const double area = e.mbr.area();
+        if (grow < best_enlargement ||
+            (grow == best_enlargement && area < best_area)) {
+          best_enlargement = grow;
+          best_area = area;
+          best = &e;
+        }
+      }
+      DRT_ENSURE(best != nullptr);
+      current = best->child.get();
+      --level;
+    }
+    return current;
+  }
+
+  void insert_entry(entry e, std::size_t target_level) {
+    std::vector<node*> path;
+    node* target = choose_node(e.mbr, target_level, path);
+    target->entries.push_back(std::move(e));
+    handle_overflow(target, path, target_level);
+  }
+
+  void handle_overflow(node* n, std::vector<node*>& path,
+                       std::size_t level) {
+    if (n->entries.size() <= config_.max_fill) {
+      adjust_path_mbrs(path);
+      return;
+    }
+    // R* forced reinsertion: once per level per top-level insertion.
+    if (config_.rstar_reinsert && level < reinserted_levels_.size() &&
+        !reinserted_levels_[level] && n != root_.get()) {
+      reinserted_levels_[level] = true;
+      reinsert_some(n, path, level);
+      return;
+    }
+    split_node(n, path, level);
+  }
+
+  /// R* forced reinsert: remove the `reinsert_fraction` of entries whose
+  /// centers are farthest from the node's MBR center and reinsert them.
+  void reinsert_some(node* n, std::vector<node*>& path, std::size_t level) {
+    const auto center = mbr_of(*n).center();
+    auto distance2 = [&](const entry& e) {
+      const auto c = e.mbr.center();
+      double d2 = 0.0;
+      for (std::size_t i = 0; i < D; ++i) {
+        const double d = c[i] - center[i];
+        d2 += d * d;
+      }
+      return d2;
+    };
+    std::stable_sort(n->entries.begin(), n->entries.end(),
+                     [&](const entry& a, const entry& b) {
+                       return distance2(a) > distance2(b);
+                     });
+    auto count = static_cast<std::size_t>(
+        config_.reinsert_fraction * static_cast<double>(n->entries.size()));
+    count = std::max<std::size_t>(1, count);
+    std::vector<entry> removed;
+    removed.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      removed.push_back(std::move(n->entries[i]));
+    }
+    n->entries.erase(n->entries.begin(),
+                     n->entries.begin() + static_cast<std::ptrdiff_t>(count));
+    adjust_path_mbrs(path);
+    reinsertions_ += removed.size();
+    // Far-first reinsertion order (the R* paper's "distant" variant).
+    for (auto& e : removed) insert_entry(std::move(e), level);
+  }
+
+  void split_node(node* n, std::vector<node*>& path, std::size_t level) {
+    ++splits_;
+    // Pack entries for the policy; handles index back into `n->entries`.
+    std::vector<split_entry<D>> packed(n->entries.size());
+    for (std::size_t i = 0; i < n->entries.size(); ++i) {
+      packed[i] = {n->entries[i].mbr, i};
+    }
+    auto outcome = split_entries<D>(std::move(packed), config_.min_fill,
+                                    config_.method);
+
+    auto take = [&](const std::vector<split_entry<D>>& group) {
+      std::vector<entry> out;
+      out.reserve(group.size());
+      for (const auto& se : group) {
+        out.push_back(std::move(n->entries[se.handle]));
+      }
+      return out;
+    };
+    auto left_entries = take(outcome.left);
+    auto right_entries = take(outcome.right);
+
+    auto sibling = std::make_unique<node>(n->leaf);
+    sibling->entries = std::move(right_entries);
+    n->entries = std::move(left_entries);
+
+    if (n == root_.get()) {
+      // Grow the tree: new root with the two halves as children.
+      auto new_root = std::make_unique<node>(/*leaf=*/false);
+      entry left_e;
+      left_e.mbr = mbr_of(*root_);
+      left_e.child = std::move(root_);
+      entry right_e;
+      right_e.mbr = mbr_of(*sibling);
+      right_e.child = std::move(sibling);
+      new_root->entries.push_back(std::move(left_e));
+      new_root->entries.push_back(std::move(right_e));
+      root_ = std::move(new_root);
+      reinserted_levels_.assign(height(), false);
+      return;
+    }
+
+    node* parent = path.back();
+    path.pop_back();
+    // Refresh the parent's entry for n and add the sibling.
+    for (auto& e : parent->entries) {
+      if (e.child.get() == n) {
+        e.mbr = mbr_of(*n);
+        break;
+      }
+    }
+    entry sibling_e;
+    sibling_e.mbr = mbr_of(*sibling);
+    sibling_e.child = std::move(sibling);
+    parent->entries.push_back(std::move(sibling_e));
+    handle_overflow(parent, path, level + 1);
+  }
+
+  void adjust_path_mbrs(std::vector<node*>& path) {
+    // Recompute MBRs bottom-up along the insertion path.
+    for (std::size_t i = path.size(); i > 0; --i) {
+      node* n = path[i - 1];
+      for (auto& e : n->entries) {
+        if (e.child) e.mbr = mbr_of(*e.child);
+      }
+    }
+  }
+
+  void find_leaf(node& n, const rect_t& r, std::uint64_t payload,
+                 std::vector<node*>& path, node*& found) {
+    if (n.leaf) {
+      for (const auto& e : n.entries) {
+        if (e.payload == payload && e.mbr == r) {
+          found = &n;
+          return;
+        }
+      }
+      return;
+    }
+    path.push_back(&n);
+    for (auto& e : n.entries) {
+      if (e.mbr.contains(r)) {
+        find_leaf(*e.child, r, payload, path, found);
+        if (found != nullptr) return;
+      }
+    }
+    path.pop_back();
+  }
+
+  void condense(std::vector<node*>& path) {
+    // Walk the recorded root->leaf path bottom-up; dissolve underfull
+    // children and queue the *leaf* entries of their subtrees for
+    // reinsertion.  (Guttman reinserts whole subtrees at matching levels;
+    // reinserting leaf entries is the standard simplification — it only
+    // costs extra reinsertion work, never correctness, and sidesteps
+    // level bookkeeping while the tree height is in flux.)
+    std::vector<entry> orphans;
+    for (std::size_t i = path.size(); i > 0; --i) {
+      node* n = path[i - 1];
+      for (std::size_t c = 0; c < n->entries.size();) {
+        node* child = n->entries[c].child.get();
+        if (child != nullptr && child->entries.size() < config_.min_fill) {
+          collect_leaf_entries(std::move(n->entries[c].child), orphans);
+          n->entries.erase(n->entries.begin() +
+                           static_cast<std::ptrdiff_t>(c));
+        } else {
+          if (child != nullptr) n->entries[c].mbr = mbr_of(*child);
+          ++c;
+        }
+      }
+    }
+    // If every child of the root dissolved, restart from an empty leaf.
+    if (!root_->leaf && root_->entries.empty()) {
+      root_ = std::make_unique<node>(/*leaf=*/true);
+    }
+    reinserted_levels_.assign(height(), false);
+    for (auto& orphan : orphans) insert_entry(std::move(orphan), 0);
+  }
+
+  void collect_leaf_entries(std::unique_ptr<node> n,
+                            std::vector<entry>& out) {
+    if (n->leaf) {
+      for (auto& e : n->entries) out.push_back(std::move(e));
+      return;
+    }
+    for (auto& e : n->entries) collect_leaf_entries(std::move(e.child), out);
+  }
+
+  void search_point_rec(const node& n, const point_t& p,
+                        std::vector<std::uint64_t>& out) const {
+    ++last_nodes_visited;
+    for (const auto& e : n.entries) {
+      if (!e.mbr.contains(p)) continue;
+      if (n.leaf) {
+        out.push_back(e.payload);
+      } else {
+        search_point_rec(*e.child, p, out);
+      }
+    }
+  }
+
+  void nearest_rec(const node& n, const point_t& p,
+                   std::uint64_t& best_payload, double& best_d2) const {
+    // Visit entries in MINDIST order; prune subtrees that cannot beat
+    // the best so far.
+    std::vector<std::pair<double, const entry*>> order;
+    order.reserve(n.entries.size());
+    for (const auto& e : n.entries) {
+      order.emplace_back(e.mbr.min_dist2(p), &e);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [d2, e] : order) {
+      if (d2 >= best_d2) break;  // sorted: the rest cannot win either
+      if (n.leaf) {
+        best_d2 = d2;
+        best_payload = e->payload;
+      } else {
+        nearest_rec(*e->child, p, best_payload, best_d2);
+      }
+    }
+  }
+
+  void search_intersects_rec(const node& n, const rect_t& query,
+                             std::vector<std::uint64_t>& out) const {
+    ++last_nodes_visited;
+    for (const auto& e : n.entries) {
+      if (!e.mbr.intersects(query)) continue;
+      if (n.leaf) {
+        out.push_back(e.payload);
+      } else {
+        search_intersects_rec(*e.child, query, out);
+      }
+    }
+  }
+
+  void collect_stats(const node& n, rtree_stats& s) const {
+    ++s.nodes;
+    if (n.leaf) {
+      ++s.leaves;
+      return;
+    }
+    s.interior_area += mbr_of(n).area();
+    for (std::size_t i = 0; i < n.entries.size(); ++i) {
+      for (std::size_t j = i + 1; j < n.entries.size(); ++j) {
+        s.interior_overlap +=
+            n.entries[i].mbr.overlap_area(n.entries[j].mbr);
+      }
+    }
+    for (const auto& e : n.entries) collect_stats(*e.child, s);
+  }
+
+  void check_node(const node& n, bool is_root, std::size_t levels_left) const {
+    if (is_root) {
+      if (!n.leaf) DRT_ENSURE(n.entries.size() >= 2);
+    } else {
+      DRT_ENSURE(n.entries.size() >= config_.min_fill);
+    }
+    DRT_ENSURE(n.entries.size() <= config_.max_fill);
+    if (n.leaf) {
+      DRT_ENSURE(levels_left == 1);  // all leaves at the same depth
+      return;
+    }
+    for (const auto& e : n.entries) {
+      DRT_ENSURE(e.child != nullptr);
+      DRT_ENSURE(e.mbr == mbr_of(*e.child));  // MBR exactness
+      check_node(*e.child, false, levels_left - 1);
+    }
+  }
+};
+
+using rtree2 = rtree<2>;
+
+}  // namespace drt::rtree
+
+#endif  // DRT_RTREE_RTREE_H

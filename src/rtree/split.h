@@ -1,0 +1,274 @@
+// Node-splitting policies (§3.2 "there are three classical methods for
+// splitting a children set, which are supported by our DR-tree structure"):
+//
+//  * linear    — Guttman's linear-cost split [18]
+//  * quadratic — Guttman's quadratic-cost split [18]
+//  * rstar     — the R*-tree topological split [5] (axis by minimum margin
+//                sum, distribution by minimum overlap)
+//
+// The same implementation is used by the sequential R-tree (src/rtree) and
+// by the DR-tree overlay (src/drtree), so the split-policy ablation (E13)
+// compares identical code.
+#ifndef DRT_RTREE_SPLIT_H
+#define DRT_RTREE_SPLIT_H
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "util/expect.h"
+
+namespace drt::rtree {
+
+enum class split_method { linear, quadratic, rstar };
+
+inline const char* to_string(split_method m) {
+  switch (m) {
+    case split_method::linear: return "linear";
+    case split_method::quadratic: return "quadratic";
+    case split_method::rstar: return "rstar";
+  }
+  return "?";
+}
+
+/// One element of the set being split: an MBR plus an opaque handle the
+/// caller uses to identify the child/object.
+template <std::size_t D>
+struct split_entry {
+  geo::rect<D> mbr;
+  std::uint64_t handle = 0;
+};
+
+template <std::size_t D>
+struct split_outcome {
+  std::vector<split_entry<D>> left;
+  std::vector<split_entry<D>> right;
+};
+
+namespace detail {
+
+template <std::size_t D>
+geo::rect<D> mbr_of(const std::vector<split_entry<D>>& entries) {
+  auto r = geo::rect<D>::empty();
+  for (const auto& e : entries) r = join(r, e.mbr);
+  return r;
+}
+
+/// Guttman linear split: seeds with greatest normalized separation.
+template <std::size_t D>
+std::pair<std::size_t, std::size_t> linear_seeds(
+    const std::vector<split_entry<D>>& entries) {
+  double best_sep = -1.0;
+  std::pair<std::size_t, std::size_t> best{0, 1};
+  for (std::size_t d = 0; d < D; ++d) {
+    // Entry with the highest low side and entry with the lowest high side.
+    std::size_t high_lo = 0;
+    std::size_t low_hi = 0;
+    double min_lo = std::numeric_limits<double>::infinity();
+    double max_hi = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const auto& r = entries[i].mbr;
+      if (r.lo[d] > entries[high_lo].mbr.lo[d]) high_lo = i;
+      if (r.hi[d] < entries[low_hi].mbr.hi[d]) low_hi = i;
+      min_lo = std::min(min_lo, r.lo[d]);
+      max_hi = std::max(max_hi, r.hi[d]);
+    }
+    const double width = max_hi - min_lo;
+    if (width <= 0.0 || high_lo == low_hi) continue;
+    const double sep =
+        (entries[high_lo].mbr.lo[d] - entries[low_hi].mbr.hi[d]) / width;
+    if (sep > best_sep) {
+      best_sep = sep;
+      best = {low_hi, high_lo};
+    }
+  }
+  if (best.first == best.second) best = {0, entries.size() - 1};
+  return best;
+}
+
+/// Guttman quadratic split: seeds wasting the most area if grouped.
+template <std::size_t D>
+std::pair<std::size_t, std::size_t> quadratic_seeds(
+    const std::vector<split_entry<D>>& entries) {
+  double worst = -std::numeric_limits<double>::infinity();
+  std::pair<std::size_t, std::size_t> best{0, 1};
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::size_t j = i + 1; j < entries.size(); ++j) {
+      const double waste = join(entries[i].mbr, entries[j].mbr).area() -
+                           entries[i].mbr.area() - entries[j].mbr.area();
+      if (waste > worst) {
+        worst = waste;
+        best = {i, j};
+      }
+    }
+  }
+  return best;
+}
+
+/// Common seed-and-distribute loop for the two Guttman methods.
+template <std::size_t D>
+split_outcome<D> guttman_split(std::vector<split_entry<D>> entries,
+                               std::size_t min_fill, bool quadratic) {
+  const auto [seed_a, seed_b] = quadratic ? quadratic_seeds(entries)
+                                          : linear_seeds(entries);
+  split_outcome<D> out;
+  out.left.push_back(entries[seed_a]);
+  out.right.push_back(entries[seed_b]);
+  auto left_mbr = entries[seed_a].mbr;
+  auto right_mbr = entries[seed_b].mbr;
+
+  std::vector<split_entry<D>> rest;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i != seed_a && i != seed_b) rest.push_back(entries[i]);
+  }
+
+  while (!rest.empty()) {
+    // Honor the minimum fill: if one group *must* take everything left.
+    if (out.left.size() + rest.size() == min_fill) {
+      for (const auto& e : rest) out.left.push_back(e);
+      break;
+    }
+    if (out.right.size() + rest.size() == min_fill) {
+      for (const auto& e : rest) out.right.push_back(e);
+      break;
+    }
+
+    std::size_t pick = 0;
+    if (quadratic) {
+      // PickNext: entry with maximal preference difference between groups.
+      double best_diff = -1.0;
+      for (std::size_t i = 0; i < rest.size(); ++i) {
+        const double dl = left_mbr.enlargement(rest[i].mbr);
+        const double dr = right_mbr.enlargement(rest[i].mbr);
+        const double diff = std::abs(dl - dr);
+        if (diff > best_diff) {
+          best_diff = diff;
+          pick = i;
+        }
+      }
+    }
+    const auto entry = rest[pick];
+    rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(pick));
+
+    const double dl = left_mbr.enlargement(entry.mbr);
+    const double dr = right_mbr.enlargement(entry.mbr);
+    bool to_left;
+    if (dl != dr) {
+      to_left = dl < dr;
+    } else if (left_mbr.area() != right_mbr.area()) {
+      to_left = left_mbr.area() < right_mbr.area();
+    } else {
+      to_left = out.left.size() <= out.right.size();
+    }
+    if (to_left) {
+      out.left.push_back(entry);
+      left_mbr = join(left_mbr, entry.mbr);
+    } else {
+      out.right.push_back(entry);
+      right_mbr = join(right_mbr, entry.mbr);
+    }
+  }
+  return out;
+}
+
+/// R* split: choose the axis minimizing the margin sum over all candidate
+/// distributions, then the distribution minimizing overlap (area breaking
+/// ties).
+template <std::size_t D>
+split_outcome<D> rstar_split(std::vector<split_entry<D>> entries,
+                             std::size_t min_fill) {
+  const std::size_t total = entries.size();
+  const std::size_t max_k = total - min_fill;  // split index range
+
+  double best_margin = std::numeric_limits<double>::infinity();
+  std::size_t best_axis = 0;
+  bool best_by_lo = true;
+
+  auto sort_entries = [&](std::size_t axis, bool by_lo) {
+    std::stable_sort(entries.begin(), entries.end(),
+                     [&](const split_entry<D>& a, const split_entry<D>& b) {
+                       return by_lo ? a.mbr.lo[axis] < b.mbr.lo[axis]
+                                    : a.mbr.hi[axis] < b.mbr.hi[axis];
+                     });
+  };
+
+  for (std::size_t axis = 0; axis < D; ++axis) {
+    for (bool by_lo : {true, false}) {
+      sort_entries(axis, by_lo);
+      double margin_sum = 0.0;
+      for (std::size_t k = min_fill; k <= max_k; ++k) {
+        auto left = geo::rect<D>::empty();
+        auto right = geo::rect<D>::empty();
+        for (std::size_t i = 0; i < k; ++i) left = join(left, entries[i].mbr);
+        for (std::size_t i = k; i < total; ++i) {
+          right = join(right, entries[i].mbr);
+        }
+        margin_sum += left.margin() + right.margin();
+      }
+      if (margin_sum < best_margin) {
+        best_margin = margin_sum;
+        best_axis = axis;
+        best_by_lo = by_lo;
+      }
+    }
+  }
+
+  sort_entries(best_axis, best_by_lo);
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  std::size_t best_k = min_fill;
+  for (std::size_t k = min_fill; k <= max_k; ++k) {
+    auto left = geo::rect<D>::empty();
+    auto right = geo::rect<D>::empty();
+    for (std::size_t i = 0; i < k; ++i) left = join(left, entries[i].mbr);
+    for (std::size_t i = k; i < total; ++i) right = join(right, entries[i].mbr);
+    const double overlap = left.overlap_area(right);
+    const double area = left.area() + right.area();
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && area < best_area)) {
+      best_overlap = overlap;
+      best_area = area;
+      best_k = k;
+    }
+  }
+
+  split_outcome<D> out;
+  out.left.assign(entries.begin(),
+                  entries.begin() + static_cast<std::ptrdiff_t>(best_k));
+  out.right.assign(entries.begin() + static_cast<std::ptrdiff_t>(best_k),
+                   entries.end());
+  return out;
+}
+
+}  // namespace detail
+
+/// Split `entries` into two groups of at least `min_fill` members each.
+/// Requires entries.size() >= 2 * min_fill (the paper requires M >= 2m).
+template <std::size_t D>
+split_outcome<D> split_entries(std::vector<split_entry<D>> entries,
+                               std::size_t min_fill, split_method method) {
+  DRT_EXPECT(min_fill >= 1);
+  DRT_EXPECT(entries.size() >= 2 * min_fill);
+  split_outcome<D> out;
+  switch (method) {
+    case split_method::linear:
+      out = detail::guttman_split<D>(std::move(entries), min_fill, false);
+      break;
+    case split_method::quadratic:
+      out = detail::guttman_split<D>(std::move(entries), min_fill, true);
+      break;
+    case split_method::rstar:
+      out = detail::rstar_split<D>(std::move(entries), min_fill);
+      break;
+  }
+  DRT_ENSURE(out.left.size() >= min_fill);
+  DRT_ENSURE(out.right.size() >= min_fill);
+  return out;
+}
+
+}  // namespace drt::rtree
+
+#endif  // DRT_RTREE_SPLIT_H

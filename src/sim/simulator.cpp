@@ -1,0 +1,205 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace drt::sim {
+
+namespace {
+std::uint64_t periodic_key(process_id id, std::uint64_t type) {
+  return (static_cast<std::uint64_t>(id) << 32) ^ type;
+}
+}  // namespace
+
+simulator::simulator(simulator_config config)
+    : config_(config), rng_(config.seed) {
+  DRT_EXPECT(config_.min_delay >= 0.0);
+  DRT_EXPECT(config_.max_delay >= config_.min_delay);
+  DRT_EXPECT(config_.message_loss >= 0.0 && config_.message_loss <= 1.0);
+}
+
+simulator::~simulator() = default;
+
+process_id simulator::add_process(std::unique_ptr<process> p) {
+  DRT_EXPECT(p != nullptr);
+  const auto id = static_cast<process_id>(processes_.size());
+  p->id_ = id;
+  p->sim_ = this;
+  p->alive_ = true;
+  processes_.push_back(std::move(p));
+  processes_.back()->on_start();
+  return id;
+}
+
+void simulator::crash(process_id id) {
+  auto& p = get(id);
+  if (!p.alive_) return;
+  p.alive_ = false;
+  p.on_crash();
+}
+
+void simulator::restart(process_id id) {
+  auto& p = get(id);
+  if (p.alive_) return;
+  p.alive_ = true;
+  p.on_start();
+}
+
+bool simulator::is_alive(process_id id) const {
+  return id < processes_.size() && processes_[id]->alive_;
+}
+
+process& simulator::get(process_id id) {
+  DRT_EXPECT(id < processes_.size());
+  return *processes_[id];
+}
+
+const process& simulator::get(process_id id) const {
+  DRT_EXPECT(id < processes_.size());
+  return *processes_[id];
+}
+
+std::vector<process_id> simulator::live_processes() const {
+  std::vector<process_id> out;
+  for (const auto& p : processes_) {
+    if (p->alive_) out.push_back(p->id_);
+  }
+  return out;
+}
+
+void simulator::send(process_id from, process_id to, std::uint64_t type) {
+  post_message(from, to, type, nullptr, [] { return nullptr; });
+}
+
+void simulator::post_message(process_id from, process_id to,
+                             std::uint64_t type,
+                             std::shared_ptr<void> keepalive,
+                             std::function<const void*()> payload) {
+  DRT_EXPECT(to < processes_.size());
+  ++metrics_.messages_sent;
+  if (link_filter_ && !link_filter_(from, to)) {
+    ++metrics_.messages_partitioned;
+    return;
+  }
+  if (config_.message_loss > 0.0 && rng_.chance(config_.message_loss)) {
+    ++metrics_.messages_dropped;
+    return;
+  }
+  pending_event ev;
+  ev.at = now_ + rng_.uniform_real(config_.min_delay, config_.max_delay);
+  ev.what = pending_event::kind::message;
+  ev.from = from;
+  ev.to = to;
+  ev.type = type;
+  ev.payload = std::move(payload);
+  ev.keepalive = std::move(keepalive);
+  push_event(std::move(ev));
+}
+
+void simulator::schedule_timer(process_id target, std::uint64_t timer_type,
+                               sim_time delay) {
+  DRT_EXPECT(target < processes_.size());
+  DRT_EXPECT(delay >= 0.0);
+  pending_event ev;
+  ev.at = now_ + delay;
+  ev.what = pending_event::kind::timer;
+  ev.to = target;
+  ev.type = timer_type;
+  push_event(std::move(ev));
+}
+
+void simulator::schedule_periodic(process_id target, std::uint64_t timer_type,
+                                  sim_time period, sim_time phase) {
+  DRT_EXPECT(target < processes_.size());
+  DRT_EXPECT(period > 0.0);
+  auto& state = periodic_[periodic_key(target, timer_type)];
+  pending_event ev;
+  ev.at = now_ + phase;
+  ev.what = pending_event::kind::periodic;
+  ev.to = target;
+  ev.type = timer_type;
+  ev.period = period;
+  ev.generation = state.generation;
+  push_event(std::move(ev));
+}
+
+void simulator::cancel_periodic(process_id target, std::uint64_t timer_type) {
+  // Outstanding firings with the old generation are ignored on pop.
+  ++periodic_[periodic_key(target, timer_type)].generation;
+}
+
+void simulator::push_event(pending_event ev) {
+  ev.seq = next_seq_++;
+  if (ev.what != pending_event::kind::periodic) ++pending_work_;
+  queue_.push(std::move(ev));
+}
+
+bool simulator::pop_and_execute() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the payload is moved via const_cast,
+  // which is safe because the element is popped immediately after.
+  pending_event ev = std::move(const_cast<pending_event&>(queue_.top()));
+  queue_.pop();
+  if (ev.what != pending_event::kind::periodic) {
+    DRT_ENSURE(pending_work_ > 0);
+    --pending_work_;
+  }
+  DRT_ENSURE(ev.at + 1e-12 >= now_);
+  now_ = std::max(now_, ev.at);
+
+  auto& target = *processes_[ev.to];
+  switch (ev.what) {
+    case pending_event::kind::message:
+      if (!target.alive_) {
+        ++metrics_.messages_to_dead;
+        return true;
+      }
+      ++metrics_.messages_delivered;
+      ++metrics_.handler_steps;
+      if (trace_) trace_({now_, ev.from, ev.to, ev.type});
+      target.on_message(ev.from, ev.type, ev.payload ? ev.payload() : nullptr);
+      return true;
+    case pending_event::kind::timer:
+      if (!target.alive_) return true;
+      ++metrics_.timers_fired;
+      ++metrics_.handler_steps;
+      target.on_timer(ev.type);
+      return true;
+    case pending_event::kind::periodic: {
+      const auto key = periodic_key(ev.to, ev.type);
+      auto it = periodic_.find(key);
+      if (it == periodic_.end() || it->second.generation != ev.generation) {
+        return true;  // cancelled
+      }
+      // Re-arm first so a handler cancelling the timer also stops this
+      // chain, then fire.
+      pending_event next = ev;
+      next.at = now_ + ev.period;
+      push_event(std::move(next));
+      if (target.alive_) {
+        ++metrics_.timers_fired;
+        ++metrics_.handler_steps;
+        target.on_timer(ev.type);
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+void simulator::run_until(sim_time until) {
+  DRT_EXPECT(until >= now_);
+  while (!queue_.empty() && queue_.top().at <= until) {
+    pop_and_execute();
+  }
+  now_ = std::max(now_, until);
+}
+
+std::uint64_t simulator::run_steps(std::uint64_t max_steps) {
+  const auto start = metrics_.handler_steps;
+  while (metrics_.handler_steps - start < max_steps && pending_work_ > 0) {
+    pop_and_execute();
+  }
+  return metrics_.handler_steps - start;
+}
+
+}  // namespace drt::sim

@@ -1,0 +1,217 @@
+// Deterministic discrete-event simulator: the distributed-system substrate
+// the DR-tree overlay runs on.
+//
+// The paper's system model (§2.1) is an asynchronous message-passing
+// network of processes that join, leave, crash, and suffer transient
+// state corruption.  This engine models exactly that: virtual time, typed
+// messages delivered after a per-link delay, optional message loss,
+// periodic timers (the paper's "periodically triggered" stabilization
+// events), and crash/restart of processes.  Everything is driven by one
+// seeded RNG, so every experiment is bit-reproducible.
+#ifndef DRT_SIM_SIMULATOR_H
+#define DRT_SIM_SIMULATOR_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/expect.h"
+#include "util/rng.h"
+
+namespace drt::sim {
+
+using process_id = std::uint32_t;
+inline constexpr process_id kNoProcess = static_cast<process_id>(-1);
+
+/// Wall-clock-free virtual time.
+using sim_time = double;
+
+class simulator;
+
+/// A process: owns local state, reacts to messages and timers.  Handlers
+/// run atomically (the scheduler interleaves handler executions, never
+/// preempts one), matching the locally-atomic step semantics the paper's
+/// proofs assume.
+class process {
+ public:
+  virtual ~process() = default;
+
+  process_id id() const { return id_; }
+  simulator& sim() const { return *sim_; }
+  bool alive() const { return alive_; }
+
+  /// Called once when the process is added to the simulation.
+  virtual void on_start() {}
+  /// A message from `from` (which may have crashed since sending).
+  virtual void on_message(process_id from, std::uint64_t type,
+                          const void* payload) = 0;
+  /// A timer registered via simulator::schedule_timer fired.
+  virtual void on_timer(std::uint64_t /*timer_type*/) {}
+  /// The process crashed (uncontrolled departure).  State is NOT cleared
+  /// automatically: a restarted process resumes with stale state, which is
+  /// precisely the transient-fault model self-stabilization handles.
+  virtual void on_crash() {}
+
+ private:
+  friend class simulator;
+  process_id id_ = kNoProcess;
+  simulator* sim_ = nullptr;
+  bool alive_ = false;
+};
+
+struct simulator_config {
+  std::uint64_t seed = 1;
+  sim_time min_delay = 0.5;      ///< per-message latency lower bound
+  sim_time max_delay = 1.5;      ///< per-message latency upper bound
+  double message_loss = 0.0;     ///< iid drop probability per message
+};
+
+/// Counters the experiment harnesses read.
+struct sim_metrics {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;     ///< random loss
+  std::uint64_t messages_partitioned = 0; ///< blocked by the link filter
+  std::uint64_t messages_to_dead = 0;
+  std::uint64_t timers_fired = 0;
+  std::uint64_t handler_steps = 0;  ///< total handler executions
+};
+
+class simulator {
+ public:
+  explicit simulator(simulator_config config = {});
+  ~simulator();
+
+  simulator(const simulator&) = delete;
+  simulator& operator=(const simulator&) = delete;
+
+  // ----------------------------------------------------------- topology
+  /// Register a process; it becomes alive and receives on_start().
+  process_id add_process(std::unique_ptr<process> p);
+
+  /// Uncontrolled departure: the process stops receiving messages/timers.
+  /// In-flight messages *to* it are silently discarded on delivery.
+  void crash(process_id id);
+
+  /// Restart a crashed process (keeps its — possibly stale — state).
+  void restart(process_id id);
+
+  bool is_alive(process_id id) const;
+  process& get(process_id id);
+  const process& get(process_id id) const;
+  std::vector<process_id> live_processes() const;
+  std::size_t process_count() const { return processes_.size(); }
+
+  // ----------------------------------------------------------- messaging
+  /// Send message `type` with copyable payload `body` (may be empty).
+  /// Delivery is delayed by uniform(min_delay, max_delay) and may be
+  /// dropped with probability `message_loss`.
+  template <typename Payload>
+  void send(process_id from, process_id to, std::uint64_t type,
+            Payload body) {
+    auto owned = std::make_shared<Payload>(std::move(body));
+    post_message(from, to, type, owned,
+                 [owned]() -> const void* { return owned.get(); });
+  }
+  void send(process_id from, process_id to, std::uint64_t type);
+
+  /// Install a link filter: messages with allow(from, to) == false are
+  /// dropped at send time (counted as partitioned).  Pass nullptr to
+  /// heal.  Models network partitions / asymmetric link failures.
+  using link_filter = std::function<bool(process_id from, process_id to)>;
+  void set_link_filter(link_filter allow) { link_filter_ = std::move(allow); }
+
+  /// Trace hook: invoked at every message *delivery* (after the latency,
+  /// before the handler).  For logging/analysis tooling; pass nullptr to
+  /// disable.
+  struct trace_event {
+    sim_time at = 0.0;
+    process_id from = kNoProcess;
+    process_id to = kNoProcess;
+    std::uint64_t type = 0;
+  };
+  using trace_hook = std::function<void(const trace_event&)>;
+  void set_trace(trace_hook hook) { trace_ = std::move(hook); }
+
+  /// One-shot timer for `target` after `delay`.
+  void schedule_timer(process_id target, std::uint64_t timer_type,
+                      sim_time delay);
+  /// Recurring timer with the given period, first firing after `phase`.
+  /// Periodic timers drive the paper's CHECK_* stabilization modules.
+  void schedule_periodic(process_id target, std::uint64_t timer_type,
+                         sim_time period, sim_time phase);
+  /// Cancel all periodic timers of one type for a process.
+  void cancel_periodic(process_id target, std::uint64_t timer_type);
+
+  // ----------------------------------------------------------- execution
+  /// Run until the event queue drains or `until` virtual time is reached.
+  /// Periodic timers alone do not keep the run alive past `until`.
+  void run_until(sim_time until);
+
+  /// Process events — executing any periodic timers that come due along
+  /// the way — until no non-periodic work (messages, one-shot timers)
+  /// remains queued, or the step budget is exhausted.  Returns the number
+  /// of handler steps taken.  This is how experiments "drain" the protocol
+  /// to quiescence.
+  std::uint64_t run_steps(std::uint64_t max_steps);
+
+  /// Non-periodic events currently queued (messages + one-shot timers).
+  std::size_t pending_work() const { return pending_work_; }
+
+  sim_time now() const { return now_; }
+  const sim_metrics& metrics() const { return metrics_; }
+  util::rng& rng() { return rng_; }
+  const simulator_config& config() const { return config_; }
+
+ private:
+  struct pending_event;
+
+  void post_message(process_id from, process_id to, std::uint64_t type,
+                    std::shared_ptr<void> keepalive,
+                    std::function<const void*()> payload);
+  void push_event(pending_event ev);
+  bool pop_and_execute();
+
+  simulator_config config_;
+  util::rng rng_;
+  sim_time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t pending_work_ = 0;
+  sim_metrics metrics_;
+  link_filter link_filter_;
+  trace_hook trace_;
+  std::vector<std::unique_ptr<process>> processes_;
+
+  struct periodic_state {
+    std::uint64_t generation = 0;  // bump to cancel outstanding firings
+  };
+  std::unordered_map<std::uint64_t, periodic_state> periodic_;  // key: id<<32|type
+
+  struct pending_event {
+    sim_time at = 0.0;
+    std::uint64_t seq = 0;  // FIFO tie-break for determinism
+    enum class kind : std::uint8_t { message, timer, periodic } what = kind::message;
+    process_id from = kNoProcess;
+    process_id to = kNoProcess;
+    std::uint64_t type = 0;
+    std::function<const void*()> payload;  // messages only
+    std::shared_ptr<void> keepalive;
+    sim_time period = 0.0;       // periodic only
+    std::uint64_t generation = 0;  // periodic only
+  };
+  struct event_order {
+    bool operator()(const pending_event& a, const pending_event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<pending_event, std::vector<pending_event>, event_order>
+      queue_;
+};
+
+}  // namespace drt::sim
+
+#endif  // DRT_SIM_SIMULATOR_H

@@ -1,0 +1,79 @@
+#include "spatial/containment.h"
+
+#include <sstream>
+
+namespace drt::spatial {
+
+containment_graph::containment_graph(
+    const std::vector<subscription>& subscriptions)
+    : subs_(subscriptions) {
+  const std::size_t n = subs_.size();
+  full_.assign(n, std::vector<bool>(n, false));
+  children_.assign(n, {});
+  parents_.assign(n, {});
+
+  // Full strict-containment relation.  Ties (identical filters) are broken
+  // by index so the relation stays antisymmetric and the Hasse diagram a
+  // DAG.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const bool ij = subs_[i].contains(subs_[j]);
+      const bool ji = subs_[j].contains(subs_[i]);
+      if (ij && ji) {
+        full_[i][j] = i < j;
+      } else {
+        full_[i][j] = ij;
+      }
+    }
+  }
+
+  // Transitive reduction: i -> j is a Hasse edge iff no k lies strictly
+  // between them.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!full_[i][j]) continue;
+      bool direct = true;
+      for (std::size_t k = 0; k < n && direct; ++k) {
+        if (k == i || k == j) continue;
+        if (full_[i][k] && full_[k][j]) direct = false;
+      }
+      if (direct) {
+        children_[i].push_back(j);
+        parents_[j].push_back(i);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (parents_[i].empty()) roots_.push_back(i);
+  }
+}
+
+bool containment_graph::contains(std::size_t i, std::size_t j) const {
+  return full_.at(i).at(j);
+}
+
+std::string containment_graph::to_string(
+    const std::vector<std::string>& labels) const {
+  auto label = [&](std::size_t i) {
+    return i < labels.size() ? labels[i] : "S" + std::to_string(i + 1);
+  };
+  std::ostringstream out;
+  for (std::size_t i = 0; i < subs_.size(); ++i) {
+    out << label(i);
+    if (children_[i].empty()) {
+      out << " -> (none)";
+    } else {
+      out << " -> ";
+      for (std::size_t c = 0; c < children_[i].size(); ++c) {
+        if (c) out << ", ";
+        out << label(children_[i][c]);
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace drt::spatial

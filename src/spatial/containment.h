@@ -1,0 +1,54 @@
+// Subscription containment graph (Fig. 1, right): the Hasse diagram of the
+// partial order defined by filter enclosure.  Used by the quickstart
+// example, the containment-tree baseline [11], and the containment-
+// awareness property checks (Properties 3.1/3.2).
+#ifndef DRT_SPATIAL_CONTAINMENT_H
+#define DRT_SPATIAL_CONTAINMENT_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "spatial/types.h"
+
+namespace drt::spatial {
+
+/// Hasse diagram of subscription containment.  Node i corresponds to
+/// subscriptions[i] of the input; edges point from container to the
+/// *immediately* contained subscriptions (transitive reduction).
+class containment_graph {
+ public:
+  explicit containment_graph(const std::vector<subscription>& subscriptions);
+
+  std::size_t size() const { return subs_.size(); }
+  const subscription& sub(std::size_t i) const { return subs_.at(i); }
+
+  /// Direct containees of node i (Hasse successors).
+  const std::vector<std::size_t>& children(std::size_t i) const {
+    return children_.at(i);
+  }
+  /// Direct containers of node i (Hasse predecessors).
+  const std::vector<std::size_t>& parents(std::size_t i) const {
+    return parents_.at(i);
+  }
+  /// Nodes not contained in any other subscription.
+  const std::vector<std::size_t>& roots() const { return roots_; }
+
+  /// Full (transitive) relation: does sub(i) contain sub(j)?  (i != j;
+  /// equal filters are mutually containing and both reported.)
+  bool contains(std::size_t i, std::size_t j) const;
+
+  /// Multi-line "A -> B, C" rendering for examples/logs.
+  std::string to_string(const std::vector<std::string>& labels = {}) const;
+
+ private:
+  std::vector<subscription> subs_;
+  std::vector<std::vector<bool>> full_;  // full_[i][j]: i strictly above j
+  std::vector<std::vector<std::size_t>> children_;
+  std::vector<std::vector<std::size_t>> parents_;
+  std::vector<std::size_t> roots_;
+};
+
+}  // namespace drt::spatial
+
+#endif  // DRT_SPATIAL_CONTAINMENT_H

@@ -1,0 +1,34 @@
+#include "spatial/sample.h"
+
+namespace drt::spatial {
+
+std::vector<subscription> sample_subscriptions() {
+  using geo::make_rect2;
+  return {
+      {1, make_rect2(45, 45, 68, 92)},  // S1: inside S5
+      {2, make_rect2(8, 45, 40, 90)},   // S2: inside S5, overlaps S3
+      {3, make_rect2(20, 15, 60, 75)},  // S3: inside S6 only, overlaps S2
+      {4, make_rect2(25, 50, 38, 70)},  // S4: inside both S2 and S3
+      {5, make_rect2(5, 40, 70, 95)},   // S5: inside S6
+      {6, make_rect2(2, 2, 98, 98)},    // S6: top container
+      {7, make_rect2(60, 5, 95, 55)},   // S7: inside S6
+      {8, make_rect2(65, 10, 90, 50)},  // S8: inside S7
+  };
+}
+
+std::vector<std::string> sample_labels() {
+  return {"S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8"};
+}
+
+std::vector<event> sample_events() {
+  return {
+      {0, kNoPeer, {30.0, 60.0}},  // a: in S4 (and S2, S3, S5, S6)
+      {1, kNoPeer, {75.0, 30.0}},  // b: in S8 (and S7, S6)
+      {2, kNoPeer, {50.0, 20.0}},  // c: in S3, S6
+      {3, kNoPeer, {3.0, 96.0}},   // d: in S6 only
+  };
+}
+
+box sample_workspace() { return geo::make_rect2(0, 0, 100, 100); }
+
+}  // namespace drt::spatial

@@ -1,0 +1,33 @@
+// A reconstruction of the paper's running example (Fig. 1): eight
+// two-attribute subscriptions S1..S8 and four events a..d.
+//
+// The published figure gives no coordinates, so the rectangles below are
+// chosen to reproduce the *relations the text states*: S4 is contained in
+// both S2 and S3; S2 and S3 intersect without containment; event `a`
+// matches S4 (hence also S2 and S3, so its dissemination from S2 causes
+// no false positive, as in the paper's walkthrough of Fig. 4).
+#ifndef DRT_SPATIAL_SAMPLE_H
+#define DRT_SPATIAL_SAMPLE_H
+
+#include <string>
+#include <vector>
+
+#include "spatial/types.h"
+
+namespace drt::spatial {
+
+/// S1..S8 with owner ids 1..8 in a [0,100]^2 workspace.
+std::vector<subscription> sample_subscriptions();
+
+/// Labels "S1".."S8" aligned with sample_subscriptions().
+std::vector<std::string> sample_labels();
+
+/// Events a..d (publisher unset; callers assign).
+std::vector<event> sample_events();
+
+/// The [0,100]^2 workspace the samples live in.
+box sample_workspace();
+
+}  // namespace drt::spatial
+
+#endif  // DRT_SPATIAL_SAMPLE_H

@@ -1,0 +1,72 @@
+#include "spatial/schema.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace drt::spatial {
+
+schema::schema(std::vector<std::string> attribute_names)
+    : names_(std::move(attribute_names)) {
+  if (names_.size() != kDims) {
+    throw std::invalid_argument("schema requires exactly kDims attributes");
+  }
+  auto sorted = names_;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    throw std::invalid_argument("schema attribute names must be distinct");
+  }
+}
+
+std::size_t schema::dimension(const std::string& attribute) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == attribute) return i;
+  }
+  throw std::invalid_argument("unknown attribute: " + attribute);
+}
+
+box schema::compile(const std::vector<predicate>& conjunction,
+                    double strict_epsilon) const {
+  box r = box::universe();
+  for (const auto& p : conjunction) {
+    const std::size_t d = dimension(p.attribute);
+    switch (p.relation) {
+      case op::eq:
+        r.lo[d] = std::max(r.lo[d], p.value);
+        r.hi[d] = std::min(r.hi[d], p.value);
+        break;
+      case op::lt:
+        r.hi[d] = std::min(r.hi[d], p.value - strict_epsilon);
+        break;
+      case op::le:
+        r.hi[d] = std::min(r.hi[d], p.value);
+        break;
+      case op::gt:
+        r.lo[d] = std::max(r.lo[d], p.value + strict_epsilon);
+        break;
+      case op::ge:
+        r.lo[d] = std::max(r.lo[d], p.value);
+        break;
+    }
+  }
+  return r;
+}
+
+pt schema::make_event(
+    const std::vector<std::pair<std::string, double>>& values) const {
+  if (values.size() != names_.size()) {
+    throw std::invalid_argument("event must assign every attribute");
+  }
+  pt p{};
+  std::vector<bool> seen(names_.size(), false);
+  for (const auto& [name, value] : values) {
+    const std::size_t d = dimension(name);
+    if (seen[d]) {
+      throw std::invalid_argument("attribute assigned twice: " + name);
+    }
+    seen[d] = true;
+    p[d] = value;
+  }
+  return p;
+}
+
+}  // namespace drt::spatial

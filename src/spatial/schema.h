@@ -1,0 +1,54 @@
+// Named-attribute front end: builds rectangle filters from predicates of
+// the form (name op value), e.g. (price < 100) AND (qty >= 4), exactly the
+// filter language of Section 2.1.  Attributes a filter leaves undefined
+// stay unbounded in the corresponding dimension.
+#ifndef DRT_SPATIAL_SCHEMA_H
+#define DRT_SPATIAL_SCHEMA_H
+
+#include <string>
+#include <vector>
+
+#include "spatial/types.h"
+
+namespace drt::spatial {
+
+enum class op { eq, lt, gt, le, ge };
+
+/// One predicate of a conjunctive filter: (attribute op value).
+struct predicate {
+  std::string attribute;
+  op relation = op::eq;
+  double value = 0.0;
+};
+
+/// Maps attribute names to dimensions; compiles predicate conjunctions
+/// into rectangles and events into points.
+class schema {
+ public:
+  /// Requires exactly kDims attribute names, all distinct.
+  explicit schema(std::vector<std::string> attribute_names);
+
+  std::size_t dims() const { return names_.size(); }
+  const std::string& name(std::size_t dim) const { return names_.at(dim); }
+
+  /// Index of a named attribute; throws std::invalid_argument if unknown.
+  std::size_t dimension(const std::string& attribute) const;
+
+  /// Compile a conjunction of predicates into its rectangle.  Strict
+  /// comparisons are tightened by `strict_epsilon` so that the rectangle
+  /// model (closed intervals) conservatively matches the predicate
+  /// semantics.  Contradictory conjunctions yield an empty rectangle.
+  box compile(const std::vector<predicate>& conjunction,
+              double strict_epsilon = 1e-9) const;
+
+  /// Build an event point from (name, value) pairs; every attribute must
+  /// be assigned exactly once.
+  pt make_event(const std::vector<std::pair<std::string, double>>& values) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace drt::spatial
+
+#endif  // DRT_SPATIAL_SCHEMA_H

@@ -1,0 +1,54 @@
+// Core publish/subscribe value types (Section 2.1).
+//
+// A *subscription* (content-based filter) is a conjunction of range
+// predicates over attributes; geometrically a poly-space rectangle.  An
+// *event* assigns a value to every attribute; geometrically a point.  The
+// protocol layers are instantiated for kDims dimensions (the paper uses 2
+// for exposition; the geometry and R-tree layers are fully generic).
+#ifndef DRT_SPATIAL_TYPES_H
+#define DRT_SPATIAL_TYPES_H
+
+#include <cstdint>
+#include <string>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace drt::spatial {
+
+inline constexpr std::size_t kDims = 2;
+
+using box = geo::rect<kDims>;
+using pt = geo::point<kDims>;
+
+/// Identifies a peer/subscriber.  Peers own their subscriptions, so a
+/// subscription is identified by the peer that registered it.
+using peer_id = std::uint32_t;
+inline constexpr peer_id kNoPeer = static_cast<peer_id>(-1);
+
+/// A registered content-based filter.
+struct subscription {
+  peer_id owner = kNoPeer;
+  box filter = box::empty();
+
+  /// Subscription containment (Section 2.1): s1 "contains" s2 iff every
+  /// event matching s2 also matches s1, i.e. rectangle enclosure.
+  bool contains(const subscription& other) const {
+    return filter.contains(other.filter);
+  }
+};
+
+/// A published event: a point plus bookkeeping identity.
+struct event {
+  std::uint64_t id = 0;
+  peer_id publisher = kNoPeer;
+  pt value{};
+
+  bool matches(const subscription& s) const {
+    return s.filter.contains(value);
+  }
+};
+
+}  // namespace drt::spatial
+
+#endif  // DRT_SPATIAL_TYPES_H

@@ -1,0 +1,34 @@
+// Invariant checking helpers (Core Guidelines I.6/I.8 style contracts).
+//
+// DRT_EXPECT / DRT_ENSURE abort with a readable message when an internal
+// invariant is violated.  They are active in all build types: this library
+// implements a *self-stabilizing* protocol whose whole point is recovering
+// from corrupted state, so silent invariant violations in the machinery
+// itself (simulator, geometry, bookkeeping) must never pass unnoticed.
+#ifndef DRT_UTIL_EXPECT_H
+#define DRT_UTIL_EXPECT_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace drt::util {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violated: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace drt::util
+
+#define DRT_EXPECT(cond)                                                    \
+  ((cond) ? static_cast<void>(0)                                            \
+          : ::drt::util::contract_failure("precondition", #cond, __FILE__, \
+                                          __LINE__))
+
+#define DRT_ENSURE(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::drt::util::contract_failure("invariant", #cond, __FILE__, \
+                                          __LINE__))
+
+#endif  // DRT_UTIL_EXPECT_H

@@ -1,0 +1,110 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace drt::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void rng::reseed(std::uint64_t seed) {
+  // xoshiro state must not be all-zero; splitmix64 guarantees good spread.
+  for (auto& word : s_) word = splitmix64(seed);
+}
+
+std::uint64_t rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double rng::next_double() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  DRT_EXPECT(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Debiased modulo (Lemire-style rejection).
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  std::uint64_t r = next_u64();
+  while (r >= limit) r = next_u64();
+  return lo + static_cast<std::int64_t>(r % range);
+}
+
+double rng::uniform_real(double lo, double hi) {
+  DRT_EXPECT(lo <= hi);
+  return lo + (hi - lo) * next_double();
+}
+
+bool rng::chance(double p) { return next_double() < p; }
+
+double rng::exponential(double lambda) {
+  DRT_EXPECT(lambda > 0.0);
+  double u = next_double();
+  while (u <= 0.0) u = next_double();  // avoid log(0)
+  return -std::log(u) / lambda;
+}
+
+double rng::normal(double mean, double stddev) {
+  double u1 = next_double();
+  while (u1 <= 0.0) u1 = next_double();
+  const double u2 = next_double();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  return mean + stddev * z;
+}
+
+std::int64_t rng::zipf(std::int64_t n, double s) {
+  DRT_EXPECT(n >= 1);
+  DRT_EXPECT(s >= 0.0);
+  if (s == 0.0) return uniform_int(1, n);
+  // Inverse-CDF sampling over cached cumulative weights.  The cache is
+  // rebuilt only when (n, s) changes, which experiment loops never do
+  // mid-stream, so the amortized cost per draw is one binary search.
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(static_cast<std::size_t>(n));
+    double cum = 0.0;
+    for (std::int64_t k = 1; k <= n; ++k) {
+      cum += std::pow(static_cast<double>(k), -s);
+      zipf_cdf_[static_cast<std::size_t>(k - 1)] = cum;
+    }
+  }
+  const double target = next_double() * zipf_cdf_.back();
+  const auto it =
+      std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), target);
+  return static_cast<std::int64_t>(it - zipf_cdf_.begin()) + 1;
+}
+
+std::size_t rng::index(std::size_t size) {
+  DRT_EXPECT(size > 0);
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(size) - 1));
+}
+
+}  // namespace drt::util

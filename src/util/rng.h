@@ -1,0 +1,73 @@
+// Deterministic, platform-independent random number generation.
+//
+// std::mt19937_64 is portable but the standard *distributions* are not
+// (their algorithms are implementation-defined), so experiments seeded the
+// same way could differ across standard libraries.  We implement the few
+// distributions we need (uniform, exponential, zipf, normal) directly on
+// top of splitmix64/xoshiro256++ so every run of every experiment is
+// bit-reproducible everywhere.
+#ifndef DRT_UTIL_RNG_H
+#define DRT_UTIL_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace drt::util {
+
+/// xoshiro256++ seeded via splitmix64.  Passes BigCrush; tiny state.
+class rng {
+ public:
+  explicit rng(std::uint64_t seed = 0xdeadbeefcafef00dULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).  Requires lo <= hi.
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p);
+
+  /// Exponential with rate lambda > 0 (mean 1/lambda).
+  double exponential(double lambda);
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state trivial).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Zipf-distributed rank in [1, n] with exponent s >= 0 (s = 0: uniform).
+  /// Inverse-CDF over cumulative weights, cached per (n, s).
+  std::int64_t zipf(std::int64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick a uniformly random element index of a non-empty container.
+  std::size_t index(std::size_t size);
+
+ private:
+  std::uint64_t s_[4]{};
+  // zipf() inverse-CDF cache (see rng.cpp).
+  std::int64_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace drt::util
+
+#endif  // DRT_UTIL_RNG_H

@@ -1,0 +1,69 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/expect.h"
+
+namespace drt::util {
+
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DRT_EXPECT(!headers_.empty());
+}
+
+void table::add_row(std::vector<std::string> cells) {
+  DRT_EXPECT(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule.append(widths[c], '-');
+    rule.append(2, ' ');
+  }
+  out << rule << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void table::write_csv(std::ostream& out) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string table::cell(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string table::cell(std::size_t v) { return std::to_string(v); }
+std::string table::cell(std::int64_t v) { return std::to_string(v); }
+std::string table::cell(int v) { return std::to_string(v); }
+
+}  // namespace drt::util

@@ -1,0 +1,41 @@
+// Console table / CSV emitter used by the benchmark harnesses to print
+// paper-style rows ("Exp E4: height vs N ...").
+#ifndef DRT_UTIL_TABLE_H
+#define DRT_UTIL_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace drt::util {
+
+/// Collects rows of string cells and renders them aligned, and/or as CSV.
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+
+  /// Append a row; cells are formatted with `cell()` overloads below.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Pretty-print with column alignment; writes a trailing newline.
+  void print(std::ostream& out) const;
+
+  /// Comma-separated (no quoting: cells must not contain commas).
+  void write_csv(std::ostream& out) const;
+
+  static std::string cell(double v, int precision = 3);
+  static std::string cell(std::size_t v);
+  static std::string cell(std::int64_t v);
+  static std::string cell(int v);
+  static std::string cell(const std::string& v) { return v; }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace drt::util
+
+#endif  // DRT_UTIL_TABLE_H

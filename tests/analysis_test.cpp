@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/models.h"
+
+namespace drt::analysis {
+namespace {
+
+TEST(Models, PredictedHeightGrowsLogarithmically) {
+  EXPECT_DOUBLE_EQ(predicted_height(1, 2), 0.0);
+  EXPECT_NEAR(predicted_height(1024, 2), 10.0, 1e-9);
+  EXPECT_NEAR(predicted_height(1024, 4), 5.0, 1e-9);
+  // Larger m -> shallower tree.
+  EXPECT_LT(predicted_height(100000, 8), predicted_height(100000, 2));
+}
+
+TEST(Models, PredictedMemoryPolylogarithmic) {
+  const double m1 = predicted_memory(1024, 2, 8);
+  const double m2 = predicted_memory(1024 * 1024, 2, 8);
+  // log^2: quadrupling the exponent of N only 4x the memory.
+  EXPECT_NEAR(m2 / m1, 4.0, 0.01);
+  // Linear in M.
+  EXPECT_NEAR(predicted_memory(1024, 2, 16) / predicted_memory(1024, 2, 8),
+              2.0, 1e-9);
+}
+
+TEST(ChurnModel, InvalidOutsideRegime) {
+  // Delta * lambda >= N: departures outpace the structure.
+  EXPECT_FALSE(expected_disconnect_time(10, 10.0, 1.0).valid);
+  EXPECT_FALSE(expected_disconnect_time(10, 10.0, 2.0).valid);
+  EXPECT_TRUE(expected_disconnect_time(10, 1.0, 1.0).valid);
+}
+
+TEST(ChurnModel, MonotoneDecreasingInLambda) {
+  // More churn -> the overlay is expected to disconnect sooner.
+  double prev = std::numeric_limits<double>::infinity();
+  for (double lambda : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const auto b = expected_disconnect_time(100, 2.0, lambda);
+    ASSERT_TRUE(b.valid);
+    EXPECT_LE(b.expected_time, prev) << "lambda " << lambda;
+    prev = b.expected_time;
+  }
+}
+
+TEST(ChurnModel, IncreasingInNetworkSize) {
+  // Larger overlays survive longer under the same churn rate.
+  const auto small = expected_disconnect_time(50, 2.0, 4.0);
+  const auto large = expected_disconnect_time(200, 2.0, 4.0);
+  ASSERT_TRUE(small.valid);
+  ASSERT_TRUE(large.valid);
+  EXPECT_GT(large.expected_time, small.expected_time);
+}
+
+TEST(ChurnModel, PrefactorVariantsShareTheShape) {
+  const auto a1 = expected_disconnect_time(100, 2.0, 4.0,
+                                           churn_prefactor::delta_times_n);
+  const auto a2 = expected_disconnect_time(100, 2.0, 4.0,
+                                           churn_prefactor::delta_over_n);
+  ASSERT_TRUE(a1.valid);
+  ASSERT_TRUE(a2.valid);
+  // Same exponential, prefactors differ by N^2.
+  EXPECT_NEAR(a1.expected_time / a2.expected_time, 100.0 * 100.0, 1.0);
+}
+
+TEST(ChurnModel, SaturatesInsteadOfOverflowing) {
+  const auto b = expected_disconnect_time(100000, 1.0, 0.001);
+  ASSERT_TRUE(b.valid);
+  EXPECT_TRUE(std::isinf(b.expected_time));
+}
+
+}  // namespace
+}  // namespace drt::analysis

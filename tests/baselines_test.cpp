@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "baselines/containment_tree.h"
+#include "baselines/dimension_forest.h"
+#include "baselines/flooding.h"
+#include "baselines/zcurve_dht.h"
+#include "spatial/sample.h"
+#include "workload/workload.h"
+
+namespace drt::baselines {
+namespace {
+
+const spatial::box kWs = geo::make_rect2(0, 0, 1000, 1000);
+
+std::vector<spatial::box> sample_filters() {
+  std::vector<spatial::box> subs;
+  for (const auto& s : spatial::sample_subscriptions()) subs.push_back(s.filter);
+  return subs;
+}
+
+std::vector<spatial::box> random_filters(std::size_t n, std::uint64_t seed) {
+  util::rng rng(seed);
+  workload::subscription_params p;
+  p.workspace = kWs;
+  return workload::make_subscriptions(workload::subscription_family::uniform,
+                                      n, rng, p);
+}
+
+std::vector<std::pair<std::size_t, spatial::pt>> random_pubs(
+    std::size_t count, std::size_t n, const std::vector<spatial::box>& subs,
+    std::uint64_t seed) {
+  util::rng rng(seed);
+  std::vector<std::pair<std::size_t, spatial::pt>> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.emplace_back(rng.index(n),
+                     workload::make_event_point(
+                         workload::event_family::matching, rng, kWs, subs));
+  }
+  return out;
+}
+
+// ------------------------------------------------------ containment tree
+
+TEST(ContainmentTree, ExactRoutingOnSample) {
+  containment_tree t;
+  const auto subs = sample_filters();
+  t.build(subs);
+  const auto pubs = random_pubs(100, subs.size(), subs, 3);
+  const auto acc = measure_accuracy(t, subs, pubs);
+  EXPECT_EQ(acc.false_negatives, 0u);
+  EXPECT_EQ(acc.false_positives, 0u);  // containment routing is exact
+}
+
+TEST(ContainmentTree, ParentIsMostSpecificContainer) {
+  containment_tree t;
+  const auto subs = sample_filters();
+  t.build(subs);
+  // S4 (index 3) is inside S2 (1), S3 (2), S5 (4), S6 (5); the most
+  // specific container by area: S2 (32*45=1440) vs S3 (40*60=2400) vs
+  // bigger ones -> S2.
+  EXPECT_EQ(t.parent(3), 1u);
+  // S6 (index 5) is contained by nobody.
+  EXPECT_EQ(t.parent(5), containment_tree::npos);
+  EXPECT_EQ(t.top_level(), std::vector<std::size_t>{5});
+}
+
+TEST(ContainmentTree, DegenerateShapeOnNestedChains) {
+  // §3.1: the direct mapping yields unbalanced trees; a pure chain
+  // workload drives the height to the chain length.
+  util::rng rng(5);
+  workload::subscription_params p;
+  p.workspace = kWs;
+  p.chain_length = 10;
+  const auto subs = workload::make_subscriptions(
+      workload::subscription_family::nested, 40, rng, p);
+  containment_tree t;
+  t.build(subs);
+  EXPECT_GE(t.shape().height, 8u);  // ~chain length, far from log N
+}
+
+TEST(ContainmentTree, VirtualRootFanOutGrowsWithDisjointSubs) {
+  // Disjoint subscriptions all hang off the virtual root.
+  std::vector<spatial::box> subs;
+  for (int i = 0; i < 20; ++i) {
+    subs.push_back(geo::make_rect2(i * 40.0, 0, i * 40.0 + 30.0, 30.0));
+  }
+  containment_tree t;
+  t.build(subs);
+  EXPECT_EQ(t.shape().max_degree, 20u);
+}
+
+// ------------------------------------------------------ dimension forest
+
+TEST(DimensionForest, NoFalseNegatives) {
+  dimension_forest f;
+  const auto subs = random_filters(60, 7);
+  f.build(subs);
+  const auto pubs = random_pubs(150, subs.size(), subs, 11);
+  const auto acc = measure_accuracy(f, subs, pubs);
+  EXPECT_EQ(acc.false_negatives, 0u);
+}
+
+TEST(DimensionForest, ProducesFalsePositives) {
+  // §3.1: per-dimension matching notifies subscribers that match one
+  // attribute but not the other.
+  dimension_forest f;
+  const auto subs = random_filters(60, 13);
+  f.build(subs);
+  const auto pubs = random_pubs(200, subs.size(), subs, 17);
+  const auto acc = measure_accuracy(f, subs, pubs);
+  EXPECT_GT(acc.false_positives, 0u);
+}
+
+TEST(DimensionForest, FlatHighFanOutShape) {
+  dimension_forest f;
+  const auto subs = random_filters(100, 19);
+  f.build(subs);
+  const auto shape = f.shape();
+  // Interval containment is rare among random intervals: most nodes sit
+  // directly under the virtual roots.
+  EXPECT_GT(shape.max_degree, 20u);
+}
+
+// ------------------------------------------------------------- flooding
+
+TEST(Flooding, ReachesEveryPeer) {
+  flooding fl(4, 23);
+  const auto subs = random_filters(50, 29);
+  fl.build(subs);
+  const auto d = fl.publish(7, {{500, 500}});
+  EXPECT_EQ(d.receivers.size(), 50u);
+  EXPECT_GT(d.messages, 50u);  // floods cost more than a spanning tree
+}
+
+TEST(Flooding, MaximalFalsePositives) {
+  flooding fl(4, 31);
+  const auto subs = random_filters(50, 37);
+  fl.build(subs);
+  const auto pubs = random_pubs(50, subs.size(), subs, 41);
+  const auto acc = measure_accuracy(fl, subs, pubs);
+  EXPECT_EQ(acc.false_negatives, 0u);
+  // Deliveries = everyone, so FP = population - interested.
+  EXPECT_EQ(acc.deliveries, 50u * 50u);
+  EXPECT_EQ(acc.false_positives, acc.deliveries - acc.interested);
+}
+
+// ------------------------------------------------------------ zcurve dht
+
+TEST(ZcurveDht, MortonInterleavesBits) {
+  EXPECT_EQ(zcurve_dht::morton(0, 0), 0u);
+  EXPECT_EQ(zcurve_dht::morton(1, 0), 1u);
+  EXPECT_EQ(zcurve_dht::morton(0, 1), 2u);
+  EXPECT_EQ(zcurve_dht::morton(1, 1), 3u);
+  EXPECT_EQ(zcurve_dht::morton(2, 0), 4u);
+  EXPECT_EQ(zcurve_dht::morton(3, 5), 0b100111u);
+}
+
+TEST(ZcurveDht, ExactAccuracy) {
+  zcurve_dht dht(kWs, 5, 43);
+  const auto subs = random_filters(60, 47);
+  dht.build(subs);
+  const auto pubs = random_pubs(200, subs.size(), subs, 53);
+  const auto acc = measure_accuracy(dht, subs, pubs);
+  EXPECT_EQ(acc.false_negatives, 0u);
+  EXPECT_EQ(acc.false_positives, 0u);  // rendezvous matching is exact
+}
+
+TEST(ZcurveDht, RoutingIsLogarithmic) {
+  zcurve_dht dht(kWs, 5, 59);
+  const auto subs = random_filters(128, 61);
+  dht.build(subs);
+  util::rng rng(67);
+  std::size_t worst = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto d = dht.publish(rng.index(subs.size()),
+                               workload::make_event_point(
+                                   workload::event_family::uniform, rng, kWs));
+    worst = std::max(worst, d.max_hops);
+  }
+  // Chord bound: O(log N) = 7 for 128 peers; allow constant slack.
+  EXPECT_LE(worst, 16u);
+}
+
+TEST(ZcurveDht, FilterStateBlowsUpWithBroadFilters) {
+  // The 1-D mapping critique: broad rectangles shatter into many cells
+  // scattered across the ring.
+  const auto narrow = random_filters(40, 71);  // small filters
+  std::vector<spatial::box> broad;
+  util::rng rng(73);
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.uniform_real(0, 400);
+    const double y = rng.uniform_real(0, 400);
+    broad.push_back(geo::make_rect2(x, y, x + 500, y + 500));  // 25% area
+  }
+  zcurve_dht dht_narrow(kWs, 5, 79);
+  dht_narrow.build(narrow);
+  zcurve_dht dht_broad(kWs, 5, 79);
+  dht_broad.build(broad);
+  EXPECT_GT(dht_broad.replicas(), 4 * dht_narrow.replicas());
+  EXPECT_GT(dht_broad.install_messages(), dht_narrow.install_messages());
+}
+
+TEST(ZcurveDht, CellOfMapsWorkspaceCorners) {
+  zcurve_dht dht(kWs, 5, 83);
+  EXPECT_EQ(dht.cell_of({{0, 0}}), zcurve_dht::morton(0, 0));
+  EXPECT_EQ(dht.cell_of({{999.9, 999.9}}), zcurve_dht::morton(31, 31));
+  // Out-of-workspace points clamp instead of crashing.
+  EXPECT_EQ(dht.cell_of({{-5, 2000}}), zcurve_dht::morton(0, 31));
+}
+
+// ---------------------------------------------------------- comparative
+
+TEST(Baselines, AccuracyOrderingMatchesThePaper) {
+  // DR-tree's argument (§3.1/§4): flooding >> dimension forest >> {exact
+  // schemes} in false positives.
+  const auto subs = random_filters(80, 89);
+  const auto pubs = random_pubs(100, subs.size(), subs, 97);
+
+  flooding fl(4, 101);
+  fl.build(subs);
+  dimension_forest df;
+  df.build(subs);
+  containment_tree ct;
+  ct.build(subs);
+
+  const auto a_fl = measure_accuracy(fl, subs, pubs);
+  const auto a_df = measure_accuracy(df, subs, pubs);
+  const auto a_ct = measure_accuracy(ct, subs, pubs);
+
+  EXPECT_GT(a_fl.false_positives, a_df.false_positives);
+  EXPECT_GT(a_df.false_positives, a_ct.false_positives);
+  EXPECT_EQ(a_ct.false_positives, 0u);
+}
+
+}  // namespace
+}  // namespace drt::baselines

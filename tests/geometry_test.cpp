@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "util/rng.h"
+
+namespace drt::geo {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Rect, EmptyProperties) {
+  const auto e = rect2::empty();
+  EXPECT_TRUE(e.is_empty());
+  EXPECT_EQ(e.area(), 0.0);
+  EXPECT_EQ(e.margin(), 0.0);
+  EXPECT_FALSE(e.contains(point2{{0, 0}}));
+  EXPECT_FALSE(e.intersects(e));
+}
+
+TEST(Rect, UniverseContainsEverything) {
+  const auto u = rect2::universe();
+  EXPECT_FALSE(u.is_empty());
+  EXPECT_FALSE(u.is_bounded());
+  EXPECT_TRUE(u.contains(point2{{1e300, -1e300}}));
+  EXPECT_TRUE(u.contains(make_rect2(0, 0, 1, 1)));
+  EXPECT_EQ(u.area(), kInf);
+}
+
+TEST(Rect, PointContainmentIsInclusive) {
+  const auto r = make_rect2(0, 0, 10, 5);
+  EXPECT_TRUE(r.contains(point2{{0, 0}}));
+  EXPECT_TRUE(r.contains(point2{{10, 5}}));
+  EXPECT_TRUE(r.contains(point2{{5, 2.5}}));
+  EXPECT_FALSE(r.contains(point2{{10.001, 2}}));
+  EXPECT_FALSE(r.contains(point2{{5, -0.001}}));
+}
+
+TEST(Rect, RectContainment) {
+  const auto outer = make_rect2(0, 0, 10, 10);
+  const auto inner = make_rect2(2, 2, 8, 8);
+  const auto crossing = make_rect2(5, 5, 15, 15);
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(crossing));
+  EXPECT_TRUE(outer.contains(rect2::empty()));
+  EXPECT_FALSE(rect2::empty().contains(outer));
+}
+
+TEST(Rect, Intersection) {
+  const auto a = make_rect2(0, 0, 10, 10);
+  const auto b = make_rect2(5, 5, 15, 15);
+  const auto c = make_rect2(20, 20, 30, 30);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+  EXPECT_FALSE(a.intersects(c));
+  const auto inter = intersection(a, b);
+  EXPECT_EQ(inter, make_rect2(5, 5, 10, 10));
+  EXPECT_TRUE(intersection(a, c).is_empty());
+  // Touching edges intersect (closed rectangles).
+  EXPECT_TRUE(a.intersects(make_rect2(10, 0, 20, 10)));
+}
+
+TEST(Rect, JoinIsSmallestCover) {
+  const auto a = make_rect2(0, 0, 2, 2);
+  const auto b = make_rect2(5, 1, 6, 7);
+  const auto j = join(a, b);
+  EXPECT_EQ(j, make_rect2(0, 0, 6, 7));
+  EXPECT_TRUE(j.contains(a));
+  EXPECT_TRUE(j.contains(b));
+}
+
+TEST(Rect, JoinWithEmptyIsIdentity) {
+  const auto a = make_rect2(1, 2, 3, 4);
+  EXPECT_EQ(join(a, rect2::empty()), a);
+  EXPECT_EQ(join(rect2::empty(), a), a);
+}
+
+TEST(Rect, AreaMarginCenter) {
+  const auto r = make_rect2(0, 0, 4, 3);
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.margin(), 7.0);
+  EXPECT_EQ(r.center(), (point2{{2.0, 1.5}}));
+  // Degenerate: zero width.
+  EXPECT_DOUBLE_EQ(make_rect2(1, 0, 1, 5).area(), 0.0);
+  EXPECT_FALSE(make_rect2(1, 0, 1, 5).is_empty());
+}
+
+TEST(Rect, Enlargement) {
+  const auto r = make_rect2(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(r.enlargement(make_rect2(2, 2, 5, 5)), 0.0);
+  EXPECT_DOUBLE_EQ(r.enlargement(make_rect2(0, 0, 20, 10)), 100.0);
+}
+
+TEST(Rect, OverlapArea) {
+  const auto a = make_rect2(0, 0, 10, 10);
+  const auto b = make_rect2(5, 5, 15, 15);
+  EXPECT_DOUBLE_EQ(a.overlap_area(b), 25.0);
+  EXPECT_DOUBLE_EQ(a.overlap_area(make_rect2(20, 20, 30, 30)), 0.0);
+}
+
+TEST(Rect, UnboundedDimensionModelsUndefinedAttribute) {
+  // A filter that constrains only dimension 0 (Fig. 1: "if one attribute
+  // is undefined, the rectangle is unbounded in that dimension").
+  rect2 r;
+  r.lo = {2.0, -kInf};
+  r.hi = {4.0, kInf};
+  EXPECT_FALSE(r.is_bounded());
+  EXPECT_TRUE(r.contains(point2{{3.0, 1e9}}));
+  EXPECT_FALSE(r.contains(point2{{5.0, 0.0}}));
+  EXPECT_EQ(r.area(), kInf);
+  const auto clamped = r.clamped(make_rect2(0, 0, 100, 100));
+  EXPECT_TRUE(clamped.is_bounded());
+  EXPECT_EQ(clamped, make_rect2(2, 0, 4, 100));
+}
+
+TEST(Rect, ClampedToWorkspace) {
+  const auto r = make_rect2(-5, 50, 200, 60);
+  EXPECT_EQ(r.clamped(make_rect2(0, 0, 100, 100)), make_rect2(0, 50, 100, 60));
+}
+
+TEST(Rect, MinDist2) {
+  const auto r = make_rect2(10, 10, 20, 20);
+  EXPECT_DOUBLE_EQ(r.min_dist2(point2{{15, 15}}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(r.min_dist2(point2{{10, 10}}), 0.0);   // corner
+  EXPECT_DOUBLE_EQ(r.min_dist2(point2{{5, 15}}), 25.0);   // left face
+  EXPECT_DOUBLE_EQ(r.min_dist2(point2{{15, 25}}), 25.0);  // above
+  EXPECT_DOUBLE_EQ(r.min_dist2(point2{{7, 6}}), 9.0 + 16.0);  // corner dist
+}
+
+TEST(Rect, AtPoint) {
+  const auto r = rect2::at(point2{{3, 4}});
+  EXPECT_TRUE(r.contains(point2{{3, 4}}));
+  EXPECT_DOUBLE_EQ(r.area(), 0.0);
+  EXPECT_FALSE(r.is_empty());
+}
+
+TEST(Rect, ToStringIsReadable) {
+  EXPECT_EQ(rect2::empty().to_string(), "[empty]");
+  EXPECT_NE(make_rect2(0, 0, 1, 1).to_string().find("0..1"),
+            std::string::npos);
+}
+
+TEST(Rect, HigherDimensions) {
+  rect3 r;
+  r.lo = {0, 0, 0};
+  r.hi = {2, 3, 4};
+  EXPECT_DOUBLE_EQ(r.area(), 24.0);
+  EXPECT_DOUBLE_EQ(r.margin(), 9.0);
+  EXPECT_TRUE(r.contains(point3{{1, 1, 1}}));
+  EXPECT_FALSE(r.contains(point3{{1, 1, 5}}));
+
+  rect<4> q;
+  q.lo = {0, 0, 0, 0};
+  q.hi = {1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(q.area(), 1.0);
+  EXPECT_EQ(q.dims(), 4u);
+}
+
+// Property-style sweep: join/intersection algebra on random rectangles.
+class RectAlgebraProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RectAlgebraProperty, JoinCoversAndIntersectionIsContained) {
+  util::rng rng(GetParam());
+  for (int iter = 0; iter < 500; ++iter) {
+    auto random_rect = [&] {
+      const double x1 = rng.uniform_real(-50, 50);
+      const double x2 = rng.uniform_real(-50, 50);
+      const double y1 = rng.uniform_real(-50, 50);
+      const double y2 = rng.uniform_real(-50, 50);
+      return make_rect2(std::min(x1, x2), std::min(y1, y2), std::max(x1, x2),
+                        std::max(y1, y2));
+    };
+    const auto a = random_rect();
+    const auto b = random_rect();
+    const auto j = join(a, b);
+    EXPECT_TRUE(j.contains(a));
+    EXPECT_TRUE(j.contains(b));
+    EXPECT_GE(j.area(), std::max(a.area(), b.area()));
+    EXPECT_EQ(join(a, b), join(b, a));  // commutative
+
+    const auto inter = intersection(a, b);
+    if (!inter.is_empty()) {
+      EXPECT_TRUE(a.contains(inter));
+      EXPECT_TRUE(b.contains(inter));
+      EXPECT_LE(inter.area(), std::min(a.area(), b.area()));
+      EXPECT_DOUBLE_EQ(inter.area(), a.overlap_area(b));
+    } else {
+      EXPECT_FALSE(a.intersects(b));
+    }
+
+    // Containment is consistent with join/intersection.
+    if (a.contains(b)) {
+      EXPECT_EQ(join(a, b), a);
+      EXPECT_EQ(intersection(a, b), b);
+    }
+
+    // Point membership respects intersection.
+    point2 p{{rng.uniform_real(-50, 50), rng.uniform_real(-50, 50)}};
+    EXPECT_EQ(a.contains(p) && b.contains(p),
+              !inter.is_empty() && inter.contains(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectAlgebraProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace drt::geo

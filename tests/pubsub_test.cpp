@@ -1,0 +1,216 @@
+// Broker façade tests: multi-subscription clients, unsubscribe, delivery
+// callbacks, client-level accuracy.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pubsub/broker.h"
+#include "workload/workload.h"
+
+namespace drt::pubsub {
+namespace {
+
+using geo::make_rect2;
+
+broker_config small_config(std::uint64_t seed = 5) {
+  broker_config bc;
+  bc.net.seed = seed;
+  bc.dr.min_children = 2;
+  bc.dr.max_children = 6;
+  return bc;
+}
+
+TEST(Broker, SingleClientSingleSubscription) {
+  broker b(small_config());
+  const auto alice = b.add_client();
+  b.subscribe(alice, make_rect2(0, 0, 100, 100));
+  EXPECT_GE(b.stabilize(), 0);
+
+  const auto out = b.publish(alice, {{50, 50}});
+  EXPECT_EQ(out.notified, std::vector<client_id>{alice});
+  EXPECT_EQ(out.matching_clients, 1u);
+  EXPECT_EQ(out.client_false_negatives, 0u);
+}
+
+TEST(Broker, MultipleClientsRouteByFilter) {
+  broker b(small_config(7));
+  const auto alice = b.add_client();
+  const auto bob = b.add_client();
+  const auto carol = b.add_client();
+  b.subscribe(alice, make_rect2(0, 0, 40, 40));
+  b.subscribe(bob, make_rect2(60, 60, 100, 100));
+  b.subscribe(carol, make_rect2(0, 0, 100, 100));
+  ASSERT_GE(b.stabilize(), 0);
+
+  const auto out = b.publish(alice, {{20, 20}});
+  // alice and carol match; bob must not be counted as matching.
+  EXPECT_EQ(out.matching_clients, 2u);
+  EXPECT_EQ(out.client_false_negatives, 0u);
+  std::set<client_id> notified(out.notified.begin(), out.notified.end());
+  EXPECT_TRUE(notified.count(alice));
+  EXPECT_TRUE(notified.count(carol));
+}
+
+TEST(Broker, MultiSubscriptionClientNotifiedOnce) {
+  broker b(small_config(11));
+  const auto alice = b.add_client();
+  // Three overlapping filters, all matching the same event.
+  b.subscribe(alice, make_rect2(0, 0, 50, 50));
+  b.subscribe(alice, make_rect2(10, 10, 60, 60));
+  b.subscribe(alice, make_rect2(20, 20, 70, 70));
+  const auto bob = b.add_client();
+  b.subscribe(bob, make_rect2(80, 80, 90, 90));
+  ASSERT_GE(b.stabilize(), 0);
+  EXPECT_EQ(b.subscriptions_of(alice).size(), 3u);
+
+  int alice_deliveries = 0;
+  b.set_delivery_callback([&](client_id c, const spatial::event&) {
+    if (c == alice) ++alice_deliveries;
+  });
+  const auto out = b.publish(bob, {{30, 30}});
+  EXPECT_EQ(out.client_false_negatives, 0u);
+  // De-duplication: one notification despite three matching filters.
+  EXPECT_EQ(alice_deliveries, 1);
+}
+
+TEST(Broker, UnsubscribeStopsMatching) {
+  broker b(small_config(13));
+  const auto alice = b.add_client();
+  const auto bob = b.add_client();
+  const auto sub = b.subscribe(alice, make_rect2(0, 0, 50, 50));
+  b.subscribe(bob, make_rect2(0, 0, 100, 100));
+  ASSERT_GE(b.stabilize(), 0);
+
+  EXPECT_TRUE(b.unsubscribe(sub));
+  ASSERT_GE(b.stabilize(), 0);
+  EXPECT_TRUE(b.subscriptions_of(alice).empty());
+
+  const auto out = b.publish(bob, {{25, 25}});
+  EXPECT_EQ(out.matching_clients, 1u);  // only bob now
+  EXPECT_EQ(out.client_false_negatives, 0u);
+}
+
+TEST(Broker, UnsubscribeUnknownHandleFails) {
+  broker b(small_config(17));
+  const auto alice = b.add_client();
+  const auto sub = b.subscribe(alice, make_rect2(0, 0, 10, 10));
+  EXPECT_TRUE(b.unsubscribe(sub));
+  EXPECT_FALSE(b.unsubscribe(sub));  // second time: gone
+  subscription_handle bogus{alice, 999};
+  EXPECT_FALSE(b.unsubscribe(bogus));
+}
+
+TEST(Broker, PublisherWithoutSubscriptionsCanPublish) {
+  broker b(small_config(19));
+  const auto producer = b.add_client();  // pure publisher
+  const auto consumer = b.add_client();
+  b.subscribe(consumer, make_rect2(0, 0, 100, 100));
+  ASSERT_GE(b.stabilize(), 0);
+
+  const auto out = b.publish(producer, {{10, 10}});
+  EXPECT_EQ(out.client_false_negatives, 0u);
+  EXPECT_EQ(out.matching_clients, 1u);
+}
+
+TEST(Broker, NoClientFalseNegativesUnderLoad) {
+  broker b(small_config(23));
+  util::rng rng(29);
+  workload::subscription_params params;
+  params.workspace = b.raw_overlay().config().workspace;
+  std::vector<client_id> clients;
+  // 20 clients x 3 subscriptions.
+  const auto rects = workload::make_subscriptions(
+      workload::subscription_family::uniform, 60, rng, params);
+  for (int c = 0; c < 20; ++c) clients.push_back(b.add_client());
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    b.subscribe(clients[i % clients.size()], rects[i]);
+  }
+  ASSERT_GE(b.stabilize(), 0);
+
+  std::uint64_t fn = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t matches = 0;
+  for (int e = 0; e < 200; ++e) {
+    const auto value = workload::make_event_point(
+        workload::event_family::matching, rng, params.workspace, rects);
+    const auto out = b.publish(clients[rng.index(clients.size())], value);
+    fn += out.client_false_negatives;
+    fp += out.client_false_positives;
+    matches += out.matching_clients;
+  }
+  EXPECT_EQ(fn, 0u);
+  EXPECT_GT(matches, 0u);
+  // Client-level FP rate (probability a client is notified of an event
+  // none of its filters match) stays bounded.  It aggregates the per-peer
+  // FP of all the client's logical subscribers, so it sits above the
+  // ~3% per-peer rate but far below broadcast.
+  EXPECT_LT(static_cast<double>(fp),
+            0.25 * 200.0 * static_cast<double>(clients.size()));
+}
+
+TEST(Broker, SurvivesChurnOfSubscriptions) {
+  broker b(small_config(31));
+  util::rng rng(37);
+  workload::subscription_params params;
+  params.workspace = b.raw_overlay().config().workspace;
+  std::vector<subscription_handle> handles;
+  const auto alice = b.add_client();
+  const auto rects = workload::make_subscriptions(
+      workload::subscription_family::uniform, 40, rng, params);
+  for (const auto& r : rects) handles.push_back(b.subscribe(alice, r));
+  ASSERT_GE(b.stabilize(), 0);
+
+  // Remove every other subscription, then add fresh ones.
+  for (std::size_t i = 0; i < handles.size(); i += 2) {
+    EXPECT_TRUE(b.unsubscribe(handles[i]));
+  }
+  const auto fresh = workload::make_subscriptions(
+      workload::subscription_family::clustered, 10, rng, params);
+  for (const auto& r : fresh) b.subscribe(alice, r);
+  ASSERT_GE(b.stabilize(200), 0);
+  EXPECT_TRUE(b.overlay_legal());
+  EXPECT_EQ(b.subscriptions_of(alice).size(), 30u);
+}
+
+TEST(Broker, RemoveClientDropsAllSubscriptions) {
+  broker b(small_config(47));
+  const auto alice = b.add_client();
+  const auto bob = b.add_client();
+  b.subscribe(alice, make_rect2(0, 0, 50, 50));
+  b.subscribe(alice, make_rect2(20, 20, 80, 80));
+  b.subscribe(bob, make_rect2(0, 0, 100, 100));
+  ASSERT_GE(b.stabilize(), 0);
+
+  EXPECT_TRUE(b.remove_client(alice));
+  EXPECT_FALSE(b.remove_client(alice));  // already gone
+  ASSERT_GE(b.stabilize(200), 0);
+  EXPECT_TRUE(b.overlay_legal());
+
+  const auto out = b.publish(bob, {{30, 30}});
+  EXPECT_EQ(out.matching_clients, 1u);  // only bob remains
+  EXPECT_EQ(out.client_false_negatives, 0u);
+  for (const auto c : out.notified) EXPECT_NE(c, alice);
+}
+
+TEST(Broker, EfficientLeaveVariantWorks) {
+  auto bc = small_config(41);
+  bc.dr.efficient_leave = true;
+  broker b(bc);
+  const auto alice = b.add_client();
+  util::rng rng(43);
+  workload::subscription_params params;
+  params.workspace = b.raw_overlay().config().workspace;
+  const auto rects = workload::make_subscriptions(
+      workload::subscription_family::uniform, 30, rng, params);
+  std::vector<subscription_handle> handles;
+  for (const auto& r : rects) handles.push_back(b.subscribe(alice, r));
+  ASSERT_GE(b.stabilize(), 0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(b.unsubscribe(handles[i]));
+  }
+  ASSERT_GE(b.stabilize(200), 0);
+  EXPECT_TRUE(b.overlay_legal());
+}
+
+}  // namespace
+}  // namespace drt::pubsub

@@ -1,0 +1,477 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "rtree/rtree.h"
+#include "rtree/split.h"
+#include "util/rng.h"
+
+namespace drt::rtree {
+namespace {
+
+using geo::make_rect2;
+using geo::point2;
+using geo::rect2;
+
+rect2 random_rect(util::rng& rng, double span = 100.0, double max_side = 10.0) {
+  const double x = rng.uniform_real(0, span - max_side);
+  const double y = rng.uniform_real(0, span - max_side);
+  const double w = rng.uniform_real(0.1, max_side);
+  const double h = rng.uniform_real(0.1, max_side);
+  return make_rect2(x, y, x + w, y + h);
+}
+
+// ---------------------------------------------------------------- splits
+
+class SplitPolicyTest : public ::testing::TestWithParam<split_method> {};
+
+TEST_P(SplitPolicyTest, RespectsMinFill) {
+  util::rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<split_entry<2>> entries;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(6, 20));
+    for (std::size_t i = 0; i < n; ++i) {
+      entries.push_back({random_rect(rng), i});
+    }
+    const std::size_t min_fill = 3;
+    auto out = split_entries<2>(entries, min_fill, GetParam());
+    EXPECT_GE(out.left.size(), min_fill);
+    EXPECT_GE(out.right.size(), min_fill);
+    EXPECT_EQ(out.left.size() + out.right.size(), n);
+
+    // Partition: every handle appears exactly once.
+    std::set<std::uint64_t> handles;
+    for (const auto& e : out.left) handles.insert(e.handle);
+    for (const auto& e : out.right) handles.insert(e.handle);
+    EXPECT_EQ(handles.size(), n);
+  }
+}
+
+TEST_P(SplitPolicyTest, SeparatesTwoClusters) {
+  // Two well-separated clusters must end up in different groups.
+  std::vector<split_entry<2>> entries;
+  util::rng rng(7);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    entries.push_back(
+        {make_rect2(rng.uniform_real(0, 5), rng.uniform_real(0, 5),
+                    rng.uniform_real(5, 10), rng.uniform_real(5, 10)),
+         i});
+  }
+  for (std::uint64_t i = 4; i < 8; ++i) {
+    entries.push_back(
+        {make_rect2(rng.uniform_real(1000, 1005), rng.uniform_real(1000, 1005),
+                    rng.uniform_real(1005, 1010), rng.uniform_real(1005, 1010)),
+         i});
+  }
+  auto out = split_entries<2>(entries, 2, GetParam());
+  auto group_of = [&](std::uint64_t handle) {
+    for (const auto& e : out.left) {
+      if (e.handle == handle) return 0;
+    }
+    return 1;
+  };
+  const int g0 = group_of(0);
+  for (std::uint64_t i = 1; i < 4; ++i) EXPECT_EQ(group_of(i), g0);
+  for (std::uint64_t i = 4; i < 8; ++i) EXPECT_NE(group_of(i), g0);
+}
+
+TEST_P(SplitPolicyTest, MinimumSizedInput) {
+  std::vector<split_entry<2>> entries{{make_rect2(0, 0, 1, 1), 0},
+                                      {make_rect2(5, 5, 6, 6), 1}};
+  auto out = split_entries<2>(entries, 1, GetParam());
+  EXPECT_EQ(out.left.size(), 1u);
+  EXPECT_EQ(out.right.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SplitPolicyTest,
+                         ::testing::Values(split_method::linear,
+                                           split_method::quadratic,
+                                           split_method::rstar),
+                         [](const auto& info) { return to_string(info.param); });
+
+// ---------------------------------------------------------------- rtree
+
+TEST(Rtree, EmptyTree) {
+  rtree2 t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.height(), 1u);
+  EXPECT_TRUE(t.search_point(point2{{0, 0}}).empty());
+}
+
+TEST(Rtree, InsertAndFindSingle) {
+  rtree2 t;
+  t.insert(make_rect2(0, 0, 10, 10), 42);
+  EXPECT_EQ(t.size(), 1u);
+  const auto hits = t.search_point(point2{{5, 5}});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 42u);
+  EXPECT_TRUE(t.search_point(point2{{20, 20}}).empty());
+}
+
+TEST(Rtree, RejectsBadConfig) {
+  rtree_config bad;
+  bad.min_fill = 3;
+  bad.max_fill = 5;  // M < 2m
+  EXPECT_DEATH(rtree2 t(bad), "precondition");
+}
+
+TEST(Rtree, GrowsAndStaysBalanced) {
+  rtree_config cfg;
+  cfg.min_fill = 2;
+  cfg.max_fill = 4;
+  rtree2 t(cfg);
+  util::rng rng(1);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    t.insert(random_rect(rng), i);
+    t.check_invariants();
+  }
+  EXPECT_EQ(t.size(), 200u);
+  // Height bounded by log_m(N): N=200, m=2 -> <= ~9; expect far less.
+  EXPECT_LE(t.height(), 9u);
+  EXPECT_GE(t.height(), 3u);
+}
+
+class RtreePolicyParam : public ::testing::TestWithParam<split_method> {};
+
+TEST_P(RtreePolicyParam, PointQueriesMatchBruteForce) {
+  rtree_config cfg;
+  cfg.min_fill = 2;
+  cfg.max_fill = 6;
+  cfg.method = GetParam();
+  rtree2 t(cfg);
+  util::rng rng(17);
+  std::vector<rect2> rects;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const auto r = random_rect(rng);
+    rects.push_back(r);
+    t.insert(r, i);
+  }
+  t.check_invariants();
+  for (int q = 0; q < 200; ++q) {
+    point2 p{{rng.uniform_real(0, 100), rng.uniform_real(0, 100)}};
+    auto hits = t.search_point(p);
+    std::sort(hits.begin(), hits.end());
+    std::vector<std::uint64_t> expected;
+    for (std::uint64_t i = 0; i < rects.size(); ++i) {
+      if (rects[i].contains(p)) expected.push_back(i);
+    }
+    EXPECT_EQ(hits, expected) << "query " << p.to_string();
+  }
+}
+
+TEST_P(RtreePolicyParam, IntersectionQueriesMatchBruteForce) {
+  rtree_config cfg;
+  cfg.method = GetParam();
+  rtree2 t(cfg);
+  util::rng rng(23);
+  std::vector<rect2> rects;
+  for (std::uint64_t i = 0; i < 250; ++i) {
+    const auto r = random_rect(rng);
+    rects.push_back(r);
+    t.insert(r, i);
+  }
+  for (int q = 0; q < 100; ++q) {
+    const auto query = random_rect(rng, 100.0, 30.0);
+    auto hits = t.search_intersects(query);
+    std::sort(hits.begin(), hits.end());
+    std::vector<std::uint64_t> expected;
+    for (std::uint64_t i = 0; i < rects.size(); ++i) {
+      if (rects[i].intersects(query)) expected.push_back(i);
+    }
+    EXPECT_EQ(hits, expected);
+  }
+}
+
+TEST_P(RtreePolicyParam, EraseMaintainsInvariantsAndQueries) {
+  rtree_config cfg;
+  cfg.min_fill = 2;
+  cfg.max_fill = 5;
+  cfg.method = GetParam();
+  rtree2 t(cfg);
+  util::rng rng(31);
+  std::vector<std::pair<rect2, std::uint64_t>> live;
+  for (std::uint64_t i = 0; i < 150; ++i) {
+    const auto r = random_rect(rng);
+    live.emplace_back(r, i);
+    t.insert(r, i);
+  }
+  // Remove two thirds in random order, checking as we go.
+  rng.shuffle(live);
+  while (live.size() > 50) {
+    auto [r, id] = live.back();
+    live.pop_back();
+    EXPECT_TRUE(t.erase(r, id));
+    t.check_invariants();
+  }
+  EXPECT_EQ(t.size(), 50u);
+  // Erased entries are gone; surviving entries are findable.
+  for (const auto& [r, id] : live) {
+    const auto hits = t.search_point(r.center());
+    EXPECT_NE(std::find(hits.begin(), hits.end(), id), hits.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, RtreePolicyParam,
+                         ::testing::Values(split_method::linear,
+                                           split_method::quadratic,
+                                           split_method::rstar),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(Rtree, EraseMissingReturnsFalse) {
+  rtree2 t;
+  t.insert(make_rect2(0, 0, 1, 1), 1);
+  EXPECT_FALSE(t.erase(make_rect2(0, 0, 1, 1), 2));
+  EXPECT_FALSE(t.erase(make_rect2(5, 5, 6, 6), 1));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Rtree, EraseToEmptyAndReuse) {
+  rtree2 t;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    t.insert(make_rect2(i, i, i + 1.0, i + 1.0), i);
+  }
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    EXPECT_TRUE(t.erase(make_rect2(i, i, i + 1.0, i + 1.0), i));
+  }
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.height(), 1u);
+  t.insert(make_rect2(0, 0, 1, 1), 7);
+  EXPECT_EQ(t.search_point(point2{{0.5, 0.5}}).size(), 1u);
+}
+
+TEST(Rtree, DuplicateRectanglesAllRetrievable) {
+  rtree2 t;
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    t.insert(make_rect2(10, 10, 20, 20), i);
+  }
+  auto hits = t.search_point(point2{{15, 15}});
+  EXPECT_EQ(hits.size(), 30u);
+  t.check_invariants();
+}
+
+TEST(Rtree, RstarReinsertionKicksIn) {
+  rtree_config cfg;
+  cfg.method = split_method::rstar;
+  cfg.rstar_reinsert = true;
+  rtree2 t(cfg);
+  util::rng rng(41);
+  for (std::uint64_t i = 0; i < 400; ++i) t.insert(random_rect(rng), i);
+  t.check_invariants();
+  EXPECT_GT(t.stats().reinsertions, 0u);
+  // Queries still exact after reinsertions.
+  point2 p{{50, 50}};
+  auto hits = t.search_point(p);
+  for (auto h : hits) EXPECT_LT(h, 400u);
+}
+
+TEST(Rtree, StatsAreConsistent) {
+  rtree2 t;
+  util::rng rng(43);
+  for (std::uint64_t i = 0; i < 120; ++i) t.insert(random_rect(rng), i);
+  const auto s = t.stats();
+  EXPECT_GT(s.nodes, s.leaves);
+  EXPECT_EQ(s.height, t.height());
+  EXPECT_GT(s.splits, 0u);
+  EXPECT_GT(s.interior_area, 0.0);
+}
+
+TEST(Rtree, BoundingBoxCoversAll) {
+  rtree2 t;
+  util::rng rng(47);
+  auto bb = rect2::empty();
+  for (std::uint64_t i = 0; i < 80; ++i) {
+    const auto r = random_rect(rng);
+    bb = join(bb, r);
+    t.insert(r, i);
+  }
+  EXPECT_EQ(t.bounding_box(), bb);
+}
+
+TEST(Nearest, EmptyTreeReturnsNothing) {
+  rtree2 t;
+  EXPECT_FALSE(t.nearest(point2{{0, 0}}).has_value());
+}
+
+TEST(Nearest, InsidePointHasZeroDistance) {
+  rtree2 t;
+  t.insert(make_rect2(0, 0, 10, 10), 1);
+  t.insert(make_rect2(50, 50, 60, 60), 2);
+  const auto nn = t.nearest(point2{{5, 5}});
+  ASSERT_TRUE(nn.has_value());
+  EXPECT_EQ(nn->first, 1u);
+  EXPECT_DOUBLE_EQ(nn->second, 0.0);
+}
+
+TEST(Nearest, MatchesBruteForceOnRandomData) {
+  util::rng rng(79);
+  rtree2 t;
+  std::vector<rect2> rects;
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    const auto r = random_rect(rng);
+    rects.push_back(r);
+    t.insert(r, i);
+  }
+  for (int q = 0; q < 200; ++q) {
+    point2 p{{rng.uniform_real(-20, 120), rng.uniform_real(-20, 120)}};
+    const auto nn = t.nearest(p);
+    ASSERT_TRUE(nn.has_value());
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& r : rects) best = std::min(best, r.min_dist2(p));
+    EXPECT_DOUBLE_EQ(nn->second, best) << "query " << p.to_string();
+  }
+}
+
+TEST(Nearest, WorksAfterBulkLoadAndErase) {
+  util::rng rng(83);
+  std::vector<std::pair<rect2, std::uint64_t>> items;
+  for (std::uint64_t i = 0; i < 150; ++i) {
+    items.emplace_back(random_rect(rng), i);
+  }
+  auto t = rtree2::bulk_load(items);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(t.erase(items[i].first, items[i].second));
+  }
+  for (int q = 0; q < 50; ++q) {
+    point2 p{{rng.uniform_real(0, 100), rng.uniform_real(0, 100)}};
+    const auto nn = t.nearest(p);
+    ASSERT_TRUE(nn.has_value());
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 50; i < items.size(); ++i) {
+      best = std::min(best, items[i].first.min_dist2(p));
+    }
+    EXPECT_DOUBLE_EQ(nn->second, best);
+  }
+}
+
+TEST(BulkLoad, EmptyAndSingleton) {
+  auto empty = rtree2::bulk_load({});
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.height(), 1u);
+
+  auto one = rtree2::bulk_load({{make_rect2(0, 0, 1, 1), 7}});
+  EXPECT_EQ(one.size(), 1u);
+  one.check_invariants();
+  EXPECT_EQ(one.search_point(point2{{0.5, 0.5}}),
+            std::vector<std::uint64_t>{7});
+}
+
+TEST(BulkLoad, InvariantsAndQueriesMatchBruteForce) {
+  util::rng rng(61);
+  std::vector<std::pair<rect2, std::uint64_t>> items;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    items.emplace_back(random_rect(rng), i);
+  }
+  rtree_config cfg;
+  cfg.min_fill = 2;
+  cfg.max_fill = 8;
+  auto t = rtree2::bulk_load(items, cfg);
+  EXPECT_EQ(t.size(), 500u);
+  t.check_invariants();
+  for (int q = 0; q < 100; ++q) {
+    point2 p{{rng.uniform_real(0, 100), rng.uniform_real(0, 100)}};
+    auto hits = t.search_point(p);
+    std::sort(hits.begin(), hits.end());
+    std::vector<std::uint64_t> expected;
+    for (const auto& [r, id] : items) {
+      if (r.contains(p)) expected.push_back(id);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(hits, expected);
+  }
+}
+
+TEST(BulkLoad, DenserThanIncrementalInsertion) {
+  util::rng rng(67);
+  std::vector<std::pair<rect2, std::uint64_t>> items;
+  rtree_config cfg;
+  rtree2 incremental(cfg);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const auto r = random_rect(rng);
+    items.emplace_back(r, i);
+    incremental.insert(r, i);
+  }
+  auto packed = rtree2::bulk_load(items, cfg);
+  packed.check_invariants();
+  // STR packs nodes nearly full: fewer nodes and no larger height.
+  EXPECT_LT(packed.stats().nodes, incremental.stats().nodes);
+  EXPECT_LE(packed.height(), incremental.height());
+}
+
+TEST(BulkLoad, SupportsSubsequentUpdates) {
+  util::rng rng(71);
+  std::vector<std::pair<rect2, std::uint64_t>> items;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    items.emplace_back(random_rect(rng), i);
+  }
+  auto t = rtree2::bulk_load(items);
+  for (std::uint64_t i = 200; i < 260; ++i) {
+    t.insert(random_rect(rng), i);
+    t.check_invariants();
+  }
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_TRUE(t.erase(items[i].first, items[i].second));
+  }
+  t.check_invariants();
+  EXPECT_EQ(t.size(), 210u);
+}
+
+TEST(BulkLoad, OneDimensionalDegeneratesToBPlusTreeShape) {
+  // §4: "DR-trees generalize P-trees, the dynamic version of B+-trees";
+  // with D = 1 the R-tree is an interval tree over a 1-D key space.
+  rtree<1> t;
+  util::rng rng(73);
+  std::vector<geo::rect<1>> keys;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    geo::rect<1> r;
+    const double k = rng.uniform_real(0, 1000);
+    r.lo[0] = k;
+    r.hi[0] = k;  // point keys, B+-tree style
+    keys.push_back(r);
+    t.insert(r, i);
+  }
+  t.check_invariants();
+  // Range scan [200, 400): exactly the keys inside.
+  geo::rect<1> range;
+  range.lo[0] = 200;
+  range.hi[0] = 400;
+  auto hits = t.search_intersects(range);
+  std::size_t expected = 0;
+  for (const auto& k : keys) {
+    if (k.lo[0] >= 200 && k.lo[0] <= 400) ++expected;
+  }
+  EXPECT_EQ(hits.size(), expected);
+}
+
+TEST(Rtree, HigherDimensionalTree) {
+  rtree<3> t;
+  util::rng rng(53);
+  std::vector<geo::rect3> rects;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    geo::rect3 r;
+    for (std::size_t d = 0; d < 3; ++d) {
+      const double lo = rng.uniform_real(0, 90);
+      r.lo[d] = lo;
+      r.hi[d] = lo + rng.uniform_real(0.1, 10);
+    }
+    rects.push_back(r);
+    t.insert(r, i);
+  }
+  t.check_invariants();
+  for (int q = 0; q < 50; ++q) {
+    geo::point3 p{{rng.uniform_real(0, 100), rng.uniform_real(0, 100),
+                   rng.uniform_real(0, 100)}};
+    auto hits = t.search_point(p);
+    std::sort(hits.begin(), hits.end());
+    std::vector<std::uint64_t> expected;
+    for (std::uint64_t i = 0; i < rects.size(); ++i) {
+      if (rects[i].contains(p)) expected.push_back(i);
+    }
+    EXPECT_EQ(hits, expected);
+  }
+}
+
+}  // namespace
+}  // namespace drt::rtree

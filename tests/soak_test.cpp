@@ -1,0 +1,157 @@
+// Fuzz/soak suites: long randomized interleavings of joins, controlled
+// leaves, crashes, restarts, memory corruption, and publications, with
+// the legality checker as the oracle.  These are the property-based
+// counterpart of the per-module tests: whatever the adversary schedule,
+// the overlay must (a) always re-converge to a legitimate configuration
+// and (b) never produce a false negative while legitimate.
+#include <gtest/gtest.h>
+
+#include "analysis/harness.h"
+#include "drtree/checker.h"
+#include "drtree/corruptor.h"
+
+namespace drt::overlay {
+namespace {
+
+using analysis::harness_config;
+using analysis::testbed;
+
+struct fuzz_params {
+  std::uint64_t seed;
+  std::size_t initial_peers;
+  int operations;
+  double corruption_rate;
+  const char* name;
+};
+
+class FuzzTest : public ::testing::TestWithParam<fuzz_params> {};
+
+TEST_P(FuzzTest, AdversarialScheduleAlwaysReconverges) {
+  const auto param = GetParam();
+  harness_config hc;
+  hc.net.seed = param.seed;
+  hc.workload_seed = param.seed * 31 + 7;
+  testbed tb(hc);
+  tb.populate(param.initial_peers);
+  ASSERT_GE(tb.converge(), 0);
+
+  corruptor vandal(tb.overlay(), param.seed * 13 + 1);
+  auto& rng = tb.workload_rng();
+  std::vector<spatial::peer_id> crashed;
+
+  for (int op = 0; op < param.operations; ++op) {
+    const auto live = tb.overlay().live_peers();
+    const double dice = rng.next_double();
+    if (dice < 0.30 || live.size() < 8) {
+      tb.populate(1);
+    } else if (dice < 0.45) {
+      tb.overlay().controlled_leave(live[rng.index(live.size())]);
+    } else if (dice < 0.60) {
+      const auto victim = live[rng.index(live.size())];
+      tb.overlay().crash(victim);
+      crashed.push_back(victim);
+    } else if (dice < 0.70 && !crashed.empty()) {
+      const auto back = crashed.back();
+      crashed.pop_back();
+      tb.overlay().sim().restart(back);  // stale state returns
+    } else if (dice < 0.80) {
+      corruption_config cfg;
+      cfg.parent_rate = param.corruption_rate;
+      cfg.children_rate = param.corruption_rate;
+      cfg.mbr_rate = param.corruption_rate;
+      cfg.flag_rate = param.corruption_rate;
+      vandal.corrupt(cfg);
+    } else {
+      // Publications interleave with the damage; they may be lossy while
+      // the structure is broken (that is expected), but must not wedge
+      // the overlay.
+      if (!live.empty()) {
+        const auto publisher = live[rng.index(live.size())];
+        if (tb.overlay().alive(publisher)) {
+          tb.overlay().publish_and_drain(publisher, {
+              {rng.uniform_real(0, 1000), rng.uniform_real(0, 1000)}});
+        }
+      }
+    }
+    // Let a little time pass between operations.
+    tb.overlay().advance(tb.config().dr.stabilize_period / 4);
+    tb.overlay().settle(2000000);
+  }
+
+  const int rounds = tb.converge(400);
+  ASSERT_GE(rounds, 0) << "fuzz schedule " << param.name
+                       << " never re-converged";
+  const auto report = tb.report();
+  EXPECT_TRUE(report.legal());
+  EXPECT_EQ(report.reachable, report.live_peers);
+
+  // In the legitimate configuration, accuracy is restored.
+  const auto acc = tb.publish_sweep(60, workload::event_family::matching);
+  EXPECT_EQ(acc.false_negatives, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, FuzzTest,
+    ::testing::Values(fuzz_params{101, 30, 60, 0.10, "mild"},
+                      fuzz_params{211, 40, 80, 0.25, "rough"},
+                      fuzz_params{307, 25, 100, 0.40, "brutal"},
+                      fuzz_params{401, 50, 50, 0.15, "wide"},
+                      fuzz_params{503, 20, 120, 0.30, "long"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(Soak, SustainedChurnWithPeriodicAccuracyChecks) {
+  harness_config hc;
+  hc.net.seed = 777;
+  testbed tb(hc);
+  tb.populate(40);
+  ASSERT_GE(tb.converge(), 0);
+
+  auto& rng = tb.workload_rng();
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    // Churn burst: a few joins and departures.
+    for (int i = 0; i < 6; ++i) {
+      const auto live = tb.overlay().live_peers();
+      if (rng.chance(0.5) || live.size() < 20) {
+        tb.populate(1);
+      } else if (rng.chance(0.5)) {
+        tb.overlay().controlled_leave(live[rng.index(live.size())]);
+      } else {
+        tb.overlay().crash(live[rng.index(live.size())]);
+      }
+      tb.overlay().settle();
+    }
+    // The overlay must recover within a bounded number of rounds...
+    ASSERT_GE(tb.converge(300), 0) << "epoch " << epoch;
+    // ...and deliver exactly while stable.
+    const auto acc = tb.publish_sweep(40, workload::event_family::matching);
+    EXPECT_EQ(acc.false_negatives, 0u) << "epoch " << epoch;
+    EXPECT_LT(acc.fp_rate(), 0.15) << "epoch " << epoch;
+  }
+}
+
+TEST(Soak, MessageLossyNetworkStillConverges) {
+  harness_config hc;
+  hc.net.seed = 888;
+  hc.net.message_loss = 0.10;
+  testbed tb(hc);
+  tb.populate(30);
+  ASSERT_GE(tb.converge(300), 0);
+
+  // Lossy churn.
+  auto& rng = tb.workload_rng();
+  for (int i = 0; i < 20; ++i) {
+    const auto live = tb.overlay().live_peers();
+    if (rng.chance(0.5) || live.size() < 15) {
+      tb.populate(1);
+    } else {
+      tb.overlay().crash(live[rng.index(live.size())]);
+    }
+    tb.overlay().advance(tb.config().dr.stabilize_period / 2);
+    tb.overlay().settle();
+  }
+  ASSERT_GE(tb.converge(400), 0);
+  EXPECT_TRUE(tb.legal());
+}
+
+}  // namespace
+}  // namespace drt::overlay

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "spatial/containment.h"
+#include "spatial/sample.h"
+#include "spatial/schema.h"
+#include "spatial/types.h"
+
+namespace drt::spatial {
+namespace {
+
+TEST(Subscription, ContainmentMatchesRectEnclosure) {
+  subscription outer{1, geo::make_rect2(0, 0, 10, 10)};
+  subscription inner{2, geo::make_rect2(2, 2, 8, 8)};
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.contains(outer));
+}
+
+TEST(Event, MatchesSubscription) {
+  subscription s{1, geo::make_rect2(0, 0, 10, 10)};
+  event in{0, 2, {5, 5}};
+  event out{1, 2, {11, 5}};
+  EXPECT_TRUE(in.matches(s));
+  EXPECT_FALSE(out.matches(s));
+}
+
+TEST(Schema, RejectsWrongArity) {
+  EXPECT_THROW(schema({"a"}), std::invalid_argument);
+  EXPECT_THROW(schema({"a", "b", "c"}), std::invalid_argument);
+  EXPECT_THROW(schema({"a", "a"}), std::invalid_argument);
+}
+
+TEST(Schema, CompilesRangeConjunction) {
+  schema s({"price", "qty"});
+  // (10 <= price <= 20) AND (qty >= 5)
+  const auto f = s.compile({{"price", op::ge, 10},
+                            {"price", op::le, 20},
+                            {"qty", op::ge, 5}});
+  EXPECT_TRUE(f.contains(pt{{15, 100}}));
+  EXPECT_TRUE(f.contains(pt{{10, 5}}));
+  EXPECT_FALSE(f.contains(pt{{15, 4}}));
+  EXPECT_FALSE(f.contains(pt{{21, 10}}));
+  EXPECT_FALSE(f.is_bounded());  // qty unbounded above
+}
+
+TEST(Schema, EqualityPredicateIsDegenerate) {
+  schema s({"x", "y"});
+  const auto f = s.compile({{"x", op::eq, 5}, {"y", op::eq, 7}});
+  EXPECT_TRUE(f.contains(pt{{5, 7}}));
+  EXPECT_FALSE(f.contains(pt{{5, 7.001}}));
+  EXPECT_DOUBLE_EQ(f.area(), 0.0);
+}
+
+TEST(Schema, StrictOperatorsExcludeBoundary) {
+  schema s({"x", "y"});
+  const auto f = s.compile({{"x", op::lt, 10}, {"x", op::gt, 0}});
+  EXPECT_FALSE(f.contains(pt{{10, 0}}));
+  EXPECT_FALSE(f.contains(pt{{0, 0}}));
+  EXPECT_TRUE(f.contains(pt{{5, -1e17}}));
+}
+
+TEST(Schema, ContradictionYieldsEmpty) {
+  schema s({"x", "y"});
+  const auto f = s.compile({{"x", op::gt, 10}, {"x", op::lt, 5}});
+  EXPECT_TRUE(f.is_empty());
+}
+
+TEST(Schema, UnknownAttributeThrows) {
+  schema s({"x", "y"});
+  EXPECT_THROW(s.compile({{"z", op::eq, 1}}), std::invalid_argument);
+  EXPECT_THROW(s.dimension("nope"), std::invalid_argument);
+}
+
+TEST(Schema, MakeEventAssignsAllAttributes) {
+  schema s({"x", "y"});
+  const auto p = s.make_event({{"y", 2.0}, {"x", 1.0}});
+  EXPECT_EQ(p, (pt{{1.0, 2.0}}));
+  EXPECT_THROW(s.make_event({{"x", 1.0}}), std::invalid_argument);
+  EXPECT_THROW(s.make_event({{"x", 1.0}, {"x", 2.0}}),
+               std::invalid_argument);
+}
+
+TEST(Sample, StatedRelationsHold) {
+  const auto subs = sample_subscriptions();
+  ASSERT_EQ(subs.size(), 8u);
+  auto s = [&](int i) { return subs[static_cast<std::size_t>(i - 1)]; };
+
+  // The text of the paper states: S4 contained in both S2 and S3 ...
+  EXPECT_TRUE(s(2).contains(s(4)));
+  EXPECT_TRUE(s(3).contains(s(4)));
+  // ... with S2 and S3 intersecting but not containing each other.
+  EXPECT_TRUE(s(2).filter.intersects(s(3).filter));
+  EXPECT_FALSE(s(2).contains(s(3)));
+  EXPECT_FALSE(s(3).contains(s(2)));
+  // S6 is the top container.
+  for (int i = 1; i <= 8; ++i) {
+    if (i != 6) {
+      EXPECT_TRUE(s(6).contains(s(i))) << "S6 should contain S" << i;
+    }
+  }
+  // Everything fits in the declared workspace.
+  for (const auto& sub : subs) {
+    EXPECT_TRUE(sample_workspace().contains(sub.filter));
+  }
+}
+
+TEST(Sample, EventAMatchesS4S2S3) {
+  const auto subs = sample_subscriptions();
+  const auto events = sample_events();
+  const auto& a = events[0];
+  auto matches = [&](int i) {
+    return a.matches(subs[static_cast<std::size_t>(i - 1)]);
+  };
+  EXPECT_TRUE(matches(4));
+  EXPECT_TRUE(matches(2));
+  EXPECT_TRUE(matches(3));
+  EXPECT_FALSE(matches(7));
+  EXPECT_FALSE(matches(8));
+  EXPECT_FALSE(matches(1));
+}
+
+TEST(Sample, EventDMatchesOnlyS6) {
+  const auto subs = sample_subscriptions();
+  const auto& d = sample_events()[3];
+  for (int i = 1; i <= 8; ++i) {
+    const bool expect = (i == 6);
+    EXPECT_EQ(d.matches(subs[static_cast<std::size_t>(i - 1)]), expect)
+        << "event d vs S" << i;
+  }
+}
+
+TEST(ContainmentGraph, HasseEdgesOfSample) {
+  const auto subs = sample_subscriptions();
+  containment_graph g(subs);
+  ASSERT_EQ(g.size(), 8u);
+
+  auto children_of = [&](int i) {
+    auto c = g.children(static_cast<std::size_t>(i - 1));
+    std::vector<int> out;
+    for (auto idx : c) out.push_back(static_cast<int>(idx) + 1);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  // S6 directly contains S5, S7, S3 (S1, S2, S4, S8 are transitive).
+  EXPECT_EQ(children_of(6), (std::vector<int>{3, 5, 7}));
+  // S5 directly contains S1 and S2 (S4 is transitive via S2).
+  EXPECT_EQ(children_of(5), (std::vector<int>{1, 2}));
+  // S4's direct containers are S2 and S3.
+  auto parents = g.parents(3);  // S4 has index 3
+  std::vector<int> parent_labels;
+  for (auto p : parents) parent_labels.push_back(static_cast<int>(p) + 1);
+  std::sort(parent_labels.begin(), parent_labels.end());
+  EXPECT_EQ(parent_labels, (std::vector<int>{2, 3}));
+  // Only S6 is a root.
+  EXPECT_EQ(g.roots(), (std::vector<std::size_t>{5}));
+}
+
+TEST(ContainmentGraph, FullRelationIsTransitive) {
+  const auto subs = sample_subscriptions();
+  containment_graph g(subs);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    for (std::size_t j = 0; j < g.size(); ++j) {
+      for (std::size_t k = 0; k < g.size(); ++k) {
+        if (g.contains(i, j) && g.contains(j, k)) {
+          EXPECT_TRUE(g.contains(i, k));
+        }
+      }
+    }
+  }
+}
+
+TEST(ContainmentGraph, IdenticalFiltersBreakTiesByIndex) {
+  std::vector<subscription> subs{
+      {1, geo::make_rect2(0, 0, 5, 5)},
+      {2, geo::make_rect2(0, 0, 5, 5)},
+  };
+  containment_graph g(subs);
+  EXPECT_TRUE(g.contains(0, 1));
+  EXPECT_FALSE(g.contains(1, 0));
+  EXPECT_EQ(g.roots(), (std::vector<std::size_t>{0}));
+}
+
+TEST(ContainmentGraph, ToStringMentionsLabels) {
+  containment_graph g(sample_subscriptions());
+  const auto text = g.to_string(sample_labels());
+  EXPECT_NE(text.find("S6"), std::string::npos);
+  EXPECT_NE(text.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace drt::spatial
