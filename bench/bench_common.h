@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "util/table.h"
 
 namespace drt::bench {
@@ -41,23 +42,23 @@ class results {
     table_->print(std::cout);
   }
 
+  /// Accumulated table for the JSON emitter; nullptr when no rows were
+  /// ever added (pure timing benches).
+  const util::table* table_ptr() const { return table_.get(); }
+
  private:
   std::unique_ptr<util::table> table_;
 };
 
 }  // namespace drt::bench
 
-/// Standard bench main: description banner, google-benchmark run, then
-/// the accumulated experiment table.
-#define DRT_BENCH_MAIN(TITLE, DESCRIPTION)                                  \
-  int main(int argc, char** argv) {                                        \
-    std::cout << TITLE << "\n" << DESCRIPTION << "\n\n";                    \
-    ::benchmark::Initialize(&argc, argv);                                   \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
-    ::benchmark::RunSpecifiedBenchmarks();                                  \
-    ::benchmark::Shutdown();                                                \
-    ::drt::bench::results::instance().print(TITLE);                        \
-    return 0;                                                               \
+/// Standard bench main: description banner, google-benchmark run, the
+/// accumulated experiment table, and optional --json_out=PATH emission.
+/// Every bench binary must use this macro (never BENCHMARK_MAIN()), so
+/// all of them accept the same flags and emit the same JSON shape.
+#define DRT_BENCH_MAIN(TITLE, DESCRIPTION)                              \
+  int main(int argc, char** argv) {                                     \
+    return ::drt::bench::bench_main(argc, argv, TITLE, DESCRIPTION);    \
   }
 
 #endif  // DRT_BENCH_COMMON_H

@@ -1,0 +1,163 @@
+#include "bench_json.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+namespace drt::bench {
+namespace {
+
+constexpr double kSecondsToNanos = 1e9;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_string_array(std::ostream& out,
+                        const std::vector<std::string>& items) {
+  out << "[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << '"' << json_escape(items[i]) << '"';
+  }
+  out << "]";
+}
+
+}  // namespace
+
+void recording_reporter::ReportRuns(const std::vector<Run>& report) {
+  for (const Run& run : report) {
+    if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+    run_record rec;
+    rec.name = run.benchmark_name();
+    rec.iterations = static_cast<std::int64_t>(run.iterations);
+    if (run.iterations > 0) {
+      const double iters = static_cast<double>(run.iterations);
+      rec.real_ns_per_op = run.real_accumulated_time * kSecondsToNanos / iters;
+      rec.cpu_ns_per_op = run.cpu_accumulated_time * kSecondsToNanos / iters;
+    }
+    for (const auto& [cname, counter] : run.counters) {
+      rec.counters.emplace_back(cname, counter.value);
+    }
+    records_.push_back(std::move(rec));
+  }
+  ::benchmark::ConsoleReporter::ReportRuns(report);
+}
+
+std::string extract_json_out(int* argc, char** argv) {
+  static constexpr char kFlag[] = "--json_out=";
+  static constexpr std::size_t kFlagLen = sizeof(kFlag) - 1;
+  std::string path;
+  int kept = 0;
+  for (int i = 0; i < *argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, kFlagLen) == 0) {
+      path.assign(argv[i] + kFlagLen);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argv[kept] = nullptr;  // keep the argv[argc] == NULL convention
+  *argc = kept;
+  return path;
+}
+
+bool write_json(const std::string& path, const std::string& title,
+                const std::string& description,
+                const std::vector<run_record>& runs) {
+  std::ofstream out(path);
+  if (!out) return false;
+
+  out << "{\n";
+  out << "  \"title\": \"" << json_escape(title) << "\",\n";
+  out << "  \"description\": \"" << json_escape(description) << "\",\n";
+
+  out << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const run_record& r = runs[i];
+    out << "    {\"name\": \"" << json_escape(r.name) << "\", "
+        << "\"iterations\": " << r.iterations << ", "
+        << "\"real_ns_per_op\": " << r.real_ns_per_op << ", "
+        << "\"cpu_ns_per_op\": " << r.cpu_ns_per_op << ", "
+        << "\"counters\": {";
+    for (std::size_t c = 0; c < r.counters.size(); ++c) {
+      if (c != 0) out << ", ";
+      out << '"' << json_escape(r.counters[c].first)
+          << "\": " << r.counters[c].second;
+    }
+    out << "}}" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+
+  const util::table* table = results::instance().table_ptr();
+  out << "  \"table\": ";
+  if (table == nullptr) {
+    out << "null\n";
+  } else {
+    out << "{\n    \"headers\": ";
+    write_string_array(out, table->headers());
+    out << ",\n    \"rows\": [\n";
+    const auto& rows = table->data();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      out << "      ";
+      write_string_array(out, rows[i]);
+      out << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "    ]\n  }\n";
+  }
+  out << "}\n";
+  return out.good();
+}
+
+int bench_main(int argc, char** argv, const char* title,
+               const char* description) {
+  std::cout << title << "\n" << description << "\n\n";
+  const std::string json_path = extract_json_out(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  recording_reporter reporter;
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  ::benchmark::Shutdown();
+  results::instance().print(title);
+  if (!json_path.empty()) {
+    if (!write_json(json_path, title, description, reporter.records())) {
+      std::cerr << "error: could not write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace drt::bench

@@ -1,0 +1,57 @@
+// Machine-readable bench output (DESIGN.md §4): every bench binary can
+// emit a BENCH_<name>.json file via `--json_out=PATH` carrying the
+// google-benchmark timings (name, iterations, ns/op, counters) plus the
+// accumulated paper-table rows, so perf trajectories can be tracked
+// across PRs without scraping console output.
+#ifndef DRT_BENCH_JSON_H
+#define DRT_BENCH_JSON_H
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace drt::bench {
+
+/// One timing record captured from a google-benchmark run.
+struct run_record {
+  std::string name;
+  std::int64_t iterations = 0;
+  double real_ns_per_op = 0.0;
+  double cpu_ns_per_op = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Console reporter that also records every (non-aggregate, non-error)
+/// run for the JSON emitter.
+class recording_reporter : public ::benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override;
+
+  const std::vector<run_record>& records() const { return records_; }
+
+ private:
+  std::vector<run_record> records_;
+};
+
+/// Removes a `--json_out=PATH` argument from argv (if present) and
+/// returns PATH; returns "" when the flag was not passed.  Must run
+/// before benchmark::Initialize, which rejects unknown flags.
+std::string extract_json_out(int* argc, char** argv);
+
+/// Writes the bench JSON document: title, description, the recorded
+/// timing runs, and the paper table accumulated in bench::results.
+/// Returns false if the file could not be written.
+bool write_json(const std::string& path, const std::string& title,
+                const std::string& description,
+                const std::vector<run_record>& runs);
+
+/// Shared main body for every bench binary (see DRT_BENCH_MAIN).
+int bench_main(int argc, char** argv, const char* title,
+               const char* description);
+
+}  // namespace drt::bench
+
+#endif  // DRT_BENCH_JSON_H

@@ -4,6 +4,7 @@
 // (E4-E15) carry the paper-series tables.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "rtree/rtree.h"
 #include "util/rng.h"
 #include "workload/workload.h"
@@ -102,4 +103,7 @@ BENCHMARK(BM_RtreeErase)
     ->ArgsProduct({{0, 1, 2}, {2000}})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+DRT_BENCH_MAIN(
+    "E3: sequential R-tree substrate microbenchmarks",
+    "Insert / point-query / bulk-load / erase throughput per split "
+    "policy; timing loops only, no paper-series table.")

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Run the bench suite and collect machine-readable results: one
+# BENCH_<name>.json per bench binary (see DESIGN.md §4), the artifact
+# perf PRs diff against.
+#
+# Usage: scripts/run_benches.sh [-o outdir] [-f name-filter] [extra bench args...]
+#   -o outdir       where BENCH_*.json files land (default: bench_results)
+#   -f name-filter  only run bench binaries whose name matches this
+#                   shell pattern (e.g. -f rtree_ops)
+# Extra args are forwarded to every bench binary (e.g.
+# --benchmark_filter=BM_RtreeInsert).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="bench_results"
+FILTER="*"
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -o) OUT_DIR="$2"; shift 2 ;;
+    -f) FILTER="*$2*"; shift 2 ;;
+    --) shift; break ;;
+    --*) break ;;  # start of forwarded bench args
+    *) echo "usage: $0 [-o outdir] [-f name-filter] [extra bench args...]" >&2
+       exit 2 ;;
+  esac
+done
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "bench binaries not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+ran=0
+for bin in "$BUILD_DIR"/bench/bench_*; do
+  [ -f "$bin" ] && [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  case "$name" in
+    $FILTER) ;;
+    *) continue ;;
+  esac
+  echo "=== $name ==="
+  "$bin" --json_out="$OUT_DIR/BENCH_${name#bench_}.json" "$@"
+  ran=$((ran + 1))
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "no bench binary matched filter '$FILTER'" >&2
+  exit 1
+fi
+echo
+echo "wrote $ran JSON file(s) to $OUT_DIR/"

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure (default options: -Wall -Wextra, no
+# sanitizers), build everything, run the full CTest suite (tier1 gtest
+# cases + example smoke tests).  Mirrors the ROADMAP tier-1 command.
+#
+# Usage: scripts/verify.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" --no-tests=error
+
+# A missing GTest only *warns* at configure time; make sure the tier-1
+# suites were actually registered and ran, not just the example smokes.
+tier1_count="$(ctest --test-dir "$BUILD_DIR" -L tier1 -N | sed -n 's/^Total Tests: //p')"
+if [ -z "$tier1_count" ] || [ "$tier1_count" -eq 0 ]; then
+  echo "error: no tier1 tests registered (GTest missing at configure time?)" >&2
+  exit 1
+fi
+echo "tier1 tests registered: $tier1_count"

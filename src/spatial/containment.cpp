@@ -56,8 +56,13 @@ bool containment_graph::contains(std::size_t i, std::size_t j) const {
 
 std::string containment_graph::to_string(
     const std::vector<std::string>& labels) const {
+  // Built via append (not `"S" + std::to_string(...)`) to sidestep the
+  // GCC 12 -Wrestrict false positive on string concatenation (PR105651).
   auto label = [&](std::size_t i) {
-    return i < labels.size() ? labels[i] : "S" + std::to_string(i + 1);
+    if (i < labels.size()) return labels[i];
+    std::string s = "S";
+    s += std::to_string(i + 1);
+    return s;
   };
   std::ostringstream out;
   for (std::size_t i = 0; i < subs_.size(); ++i) {

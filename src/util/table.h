@@ -19,6 +19,9 @@ class table {
 
   std::size_t rows() const { return rows_.size(); }
 
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& data() const { return rows_; }
+
   /// Pretty-print with column alignment; writes a trailing newline.
   void print(std::ostream& out) const;
 

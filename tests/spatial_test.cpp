@@ -124,7 +124,7 @@ TEST(Sample, EventAMatchesS4S2S3) {
 
 TEST(Sample, EventDMatchesOnlyS6) {
   const auto subs = sample_subscriptions();
-  const auto& d = sample_events()[3];
+  const auto d = sample_events()[3];
   for (int i = 1; i <= 8; ++i) {
     const bool expect = (i == 6);
     EXPECT_EQ(d.matches(subs[static_cast<std::size_t>(i - 1)]), expect)
