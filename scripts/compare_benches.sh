@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Diff two sets of BENCH_*.json files (see scripts/run_benches.sh and
+# DESIGN.md §4) and fail on tier-1 bench regressions, so the perf
+# trajectory accumulates across PRs instead of silently eroding.
+#
+# Usage: scripts/compare_benches.sh BASELINE_DIR CANDIDATE_DIR [THRESHOLD_PCT]
+#
+#   BASELINE_DIR   committed reference set (e.g. bench/baselines)
+#   CANDIDATE_DIR  fresh run (e.g. bench_results from run_benches.sh)
+#   THRESHOLD_PCT  max allowed cpu-time regression, default 10
+#
+# Every benchmark present in both sets is reported.  Only the *tier-1*
+# benches gate the exit status: the timing microbenches with statistically
+# meaningful iteration counts (DRT_TIER1_BENCHES to override).  The
+# experiment benches run single-shot wall-clock iterations and are too
+# noisy to gate on, but their deltas are still printed.  A tier-1 bench
+# file or benchmark missing from the candidate set is a hard failure.
+#
+# Run both sets with --benchmark_repetitions=5: every repetition is one
+# JSON record and the comparison takes the per-name minimum, which is
+# robust to noisy-neighbor CPU steal on shared machines.
+set -euo pipefail
+
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+  echo "usage: $0 BASELINE_DIR CANDIDATE_DIR [THRESHOLD_PCT]" >&2
+  exit 2
+fi
+BASE_DIR="$1"
+CAND_DIR="$2"
+THRESHOLD="${3:-10}"
+TIER1="${DRT_TIER1_BENCHES:-sim_core rtree_ops}"
+
+[ -d "$BASE_DIR" ] || { echo "baseline dir '$BASE_DIR' not found" >&2; exit 2; }
+[ -d "$CAND_DIR" ] || { echo "candidate dir '$CAND_DIR' not found" >&2; exit 2; }
+
+# Extract "name<TAB>cpu_ns_per_op" rows from one bench JSON (the format
+# bench/bench_json.cpp emits: one benchmark object per line).
+extract() {
+  sed -n 's/.*"name": "\([^"]*\)".*"cpu_ns_per_op": \([0-9.eE+-]*\),.*/\1\t\2/p' "$1"
+}
+
+is_tier1() {
+  local name="$1" t
+  for t in $TIER1; do
+    [ "$name" = "$t" ] && return 0
+  done
+  return 1
+}
+
+compared=0
+failures=0
+printf '%-12s %-34s %12s %12s %9s  %s\n' \
+  "suite" "benchmark" "base_ns" "cand_ns" "delta_%" "verdict"
+
+for base_file in "$BASE_DIR"/BENCH_*.json; do
+  [ -f "$base_file" ] || continue
+  fname="$(basename "$base_file")"
+  suite="${fname#BENCH_}"
+  suite="${suite%.json}"
+  gate="no"
+  is_tier1 "$suite" && gate="yes"
+  cand_file="$CAND_DIR/$fname"
+  if [ ! -f "$cand_file" ]; then
+    if [ "$gate" = "yes" ]; then
+      # A tier-1 bench that never ran must not slip past the gate.
+      echo "## $fname: MISSING from candidate set (tier-1 -> FAIL)"
+      failures=$((failures + 1))
+    else
+      echo "## $fname: missing from candidate set (skipped)"
+    fi
+    continue
+  fi
+
+  # Join the two extracts on benchmark name and compute deltas in awk.
+  result="$(
+    { extract "$base_file" | sed 's/^/B\t/'; extract "$cand_file" | sed 's/^/C\t/'; } |
+    awk -F'\t' -v suite="$suite" -v thr="$THRESHOLD" -v gate="$gate" '
+      # Keep the per-name MINIMUM cpu time: with --benchmark_repetitions
+      # each repetition is one record, and min-of-N is robust to the CPU
+      # steal / noisy-neighbor spikes that wash out means on shared boxes.
+      $1 == "B" { if (!($2 in base) || $3 < base[$2]) base[$2] = $3 }
+      $1 == "C" { if (!($2 in cand) || $3 < cand[$2]) cand[$2] = $3 }
+      END {
+        bad = 0; n = 0
+        # Surface candidate-only benchmarks so a new bench outside the
+        # committed baseline is visible instead of silently uncompared.
+        for (name in cand) {
+          if (!(name in base)) {
+            printf "%-12s %-34s %12s %12.0f %9s  %s\n", suite, name, "-", cand[name], "-", "new (refresh baseline)"
+          }
+        }
+        for (name in base) {
+          if (!(name in cand)) {
+            # A tier-1 benchmark that vanished from the run must fail.
+            if (gate == "yes") {
+              printf "%-12s %-34s %12.0f %12s %9s  %s\n", suite, name, base[name], "-", "-", "MISSING (tier-1 -> FAIL)"
+              bad++
+            } else {
+              printf "%-12s %-34s %12.0f %12s %9s  %s\n", suite, name, base[name], "-", "-", "missing (not gated)"
+            }
+            continue
+          }
+          n++
+          d = base[name] > 0 ? (cand[name] - base[name]) / base[name] * 100 : 0
+          verdict = "ok"
+          if (d > thr) verdict = gate == "yes" ? "REGRESSION" : "slower (not gated)"
+          if (d > thr && gate == "yes") bad++
+          printf "%-12s %-34s %12.0f %12.0f %+9.1f  %s\n", suite, name, base[name], cand[name], d, verdict
+        }
+        printf "#%d %d\n", bad, n
+      }'
+  )"
+  summary="$(printf '%s\n' "$result" | tail -1)"
+  printf '%s\n' "$result" | sed '$d'
+  failures=$((failures + $(printf '%s' "$summary" | cut -c2- | cut -d' ' -f1)))
+  compared=$((compared + $(printf '%s' "$summary" | cut -d' ' -f2)))
+done
+
+echo
+if [ "$compared" -eq 0 ]; then
+  echo "no comparable benchmarks found" >&2
+  exit 2
+fi
+if [ "$failures" -gt 0 ]; then
+  echo "FAIL: $failures tier-1 benchmark(s) regressed more than ${THRESHOLD}% (of $compared compared)"
+  exit 1
+fi
+echo "OK: no tier-1 regression above ${THRESHOLD}% ($compared benchmarks compared)"

@@ -41,6 +41,9 @@ overlay::check_report testbed::report(bool check_containment) const {
 testbed::accuracy testbed::publish_sweep(std::size_t count,
                                          workload::event_family family) {
   accuracy acc;
+  // One live-set snapshot per sweep gives O(1) publisher picks; the
+  // per-event accounting loops inside publish_and_drain are the
+  // allocation-free for_each_live path.
   const auto live = overlay_->live_peers();
   if (live.empty()) return acc;
   acc.population = live.size();

@@ -7,7 +7,9 @@
 #define DRT_DRTREE_MESSAGES_H
 
 #include <cstdint>
+#include <type_traits>
 
+#include "sim/message.h"
 #include "spatial/types.h"
 
 namespace drt::overlay {
@@ -81,6 +83,15 @@ struct dr_msg {
   std::uint64_t query_id = 0;
   spatial::peer_id reply_to = spatial::kNoPeer;
 };
+
+// The protocol message must ride the simulator's allocation-free payload
+// path: trivially copyable (no per-message destructor work) and within
+// the envelope's pooled small-buffer capacity (blocks recycle instead of
+// hitting the global allocator).  If a new field grows dr_msg past the
+// limit, shrink the message — don't silently fall back to operator new
+// on every send.
+static_assert(std::is_trivially_copyable_v<dr_msg>);
+static_assert(sizeof(dr_msg) <= sim::envelope::kMaxPooledPayload);
 
 /// Timer types (sim::process::on_timer).
 enum : std::uint64_t {

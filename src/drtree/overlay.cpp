@@ -53,9 +53,8 @@ const dr_peer& dr_overlay::peer(peer_id p) const {
 
 std::vector<peer_id> dr_overlay::live_peers() const {
   std::vector<peer_id> out;
-  for (const auto id : sim_.live_processes()) {
-    out.push_back(static_cast<peer_id>(id));
-  }
+  out.reserve(sim_.process_count());
+  for_each_live([&out](peer_id id) { out.push_back(id); });
   return out;
 }
 
@@ -69,9 +68,9 @@ repair_stats dr_overlay::total_repairs() const {
 
 std::vector<peer_id> dr_overlay::root_peers() const {
   std::vector<peer_id> roots;
-  for (const auto id : live_peers()) {
+  for_each_live([&](peer_id id) {
     if (peer(id).is_root()) roots.push_back(id);
-  }
+  });
   return roots;
 }
 
@@ -85,15 +84,26 @@ peer_id dr_overlay::contact_node(peer_id asking) const {
     const auto root = current_root();
     if (root != kNoPeer && root != asking) return root;
   }
-  const auto live = live_peers();
-  std::vector<peer_id> candidates;
-  candidates.reserve(live.size());
-  for (const auto id : live) {
-    if (id != asking) candidates.push_back(id);
-  }
-  if (candidates.empty()) return kNoPeer;
+  // Called on every (re)join: pick the k-th live peer != asking in id
+  // order without materializing a candidate vector.  Consumes the RNG
+  // exactly as the old snapshot-based selection did (same count, same
+  // index, same id order), so seeded runs are unchanged.
+  const std::size_t candidates =
+      sim_.live_count() - (alive(asking) ? 1 : 0);
+  if (candidates == 0) return kNoPeer;
   auto& rng = const_cast<dr_overlay*>(this)->sim_.rng();
-  return candidates[rng.index(candidates.size())];
+  std::size_t k = rng.index(candidates);
+  peer_id chosen = kNoPeer;
+  for_each_live([&](peer_id id) {
+    if (id == asking) return true;
+    if (k == 0) {
+      chosen = id;
+      return false;
+    }
+    --k;
+    return true;
+  });
+  return chosen;
 }
 
 void dr_overlay::record_delivery(std::uint64_t event_id, peer_id p,
@@ -121,7 +131,9 @@ publish_result dr_overlay::publish_and_drain(peer_id publisher,
   r.messages = sim_.metrics().messages_sent - msgs_before;
   r.max_hops = delivery_hops_[ev.id];
   const auto& delivered = deliveries_[ev.id];
-  for (const auto p : live_peers()) {
+  // Runs once per published event: iterate live peers without building a
+  // snapshot vector each time.
+  for_each_live([&](peer_id p) {
     const bool interested = peer(p).filter().contains(value);
     const bool got = delivered.count(p) > 0;
     if (interested) ++r.interested;
@@ -131,7 +143,7 @@ publish_result dr_overlay::publish_and_drain(peer_id publisher,
     }
     if (got && !interested) ++r.false_positives;
     if (!got && interested) ++r.false_negatives;
-  }
+  });
   deliveries_.erase(ev.id);
   delivery_hops_.erase(ev.id);
   return r;
@@ -158,12 +170,12 @@ dr_overlay::search_result dr_overlay::search_and_drain(
   const auto& hits = search_hits_[query_id];
   r.hits.assign(hits.begin(), hits.end());
   std::sort(r.hits.begin(), r.hits.end());
-  for (const auto p : live_peers()) {
+  for_each_live([&](peer_id p) {
     const bool expected = peer(p).filter().intersects(query);
     const bool got = hits.count(p) > 0;
     if (expected && !got) ++r.false_negatives;
     if (!expected && got) ++r.false_positives;
-  }
+  });
   search_hits_.erase(query_id);
   search_hops_.erase(query_id);
   return r;

@@ -65,8 +65,19 @@ class dr_overlay {
   dr_peer& peer(spatial::peer_id p);
   const dr_peer& peer(spatial::peer_id p) const;
   bool alive(spatial::peer_id p) const { return sim_.is_alive(p); }
+  /// Allocating snapshot; prefer for_each_live()/live_count() in loops.
   std::vector<spatial::peer_id> live_peers() const;
-  std::size_t live_count() const { return live_peers().size(); }
+  std::size_t live_count() const { return sim_.live_count(); }
+
+  /// Visit every live peer id without materializing a vector.  As with
+  /// sim::simulator::for_each_live, a bool-returning visitor stops on
+  /// false.
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    sim_.for_each_live([&fn](sim::process_id id) {
+      return fn(static_cast<spatial::peer_id>(id));
+    });
+  }
 
   /// Aggregate per-module repair counters over all peers (dead included:
   /// their history still counts).

@@ -14,14 +14,6 @@ using spatial::peer_id;
 
 // ------------------------------------------------------------- instance
 
-bool instance::has_child(peer_id q) const {
-  return std::find(children.begin(), children.end(), q) != children.end();
-}
-
-void instance::add_child(peer_id q) {
-  if (!has_child(q)) children.push_back(q);
-}
-
 bool instance::remove_child(peer_id q) {
   const auto it = std::find(children.begin(), children.end(), q);
   if (it == children.end()) return false;
@@ -212,9 +204,10 @@ void dr_peer::send_msg(peer_id to, dr_msg m) {
 }
 
 void dr_peer::on_message(sim::process_id from, std::uint64_t /*type*/,
-                         const void* payload) {
-  DRT_EXPECT(payload != nullptr);
-  const auto& m = *static_cast<const dr_msg*>(payload);
+                         const sim::envelope& msg) {
+  const auto* mp = msg.visit<dr_msg>();
+  DRT_EXPECT(mp != nullptr);
+  const auto& m = *mp;
   switch (m.kind) {
     case msg_kind::join_request: handle_join(m); break;
     case msg_kind::add_child: handle_add_child(m); break;

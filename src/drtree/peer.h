@@ -15,6 +15,7 @@
 #ifndef DRT_DRTREE_PEER_H
 #define DRT_DRTREE_PEER_H
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <unordered_map>
@@ -44,8 +45,14 @@ struct instance {
   std::uint64_t events_seen = 0;
   std::unordered_map<spatial::peer_id, std::uint64_t> fp_child_would;
 
-  bool has_child(spatial::peer_id q) const;
-  void add_child(spatial::peer_id q);
+  // Hot membership checks: inline so the routing/stabilization loops
+  // never pay a call on them.
+  bool has_child(spatial::peer_id q) const {
+    return std::find(children.begin(), children.end(), q) != children.end();
+  }
+  void add_child(spatial::peer_id q) {
+    if (!has_child(q)) children.push_back(q);
+  }
   bool remove_child(spatial::peer_id q);
 };
 
@@ -145,7 +152,7 @@ class dr_peer : public sim::process {
   // ------------------------------------------------------ sim::process
   void on_start() override;
   void on_message(sim::process_id from, std::uint64_t type,
-                  const void* payload) override;
+                  const sim::envelope& msg) override;
   void on_timer(std::uint64_t timer_type) override;
 
  private:

@@ -5,13 +5,18 @@
 namespace drt::sim {
 
 namespace {
-std::uint64_t periodic_key(process_id id, std::uint64_t type) {
-  return (static_cast<std::uint64_t>(id) << 32) ^ type;
+/// Calendar-queue bucket width: ~1/8 of the mean link delay, so a typical
+/// in-flight message population spreads over tens of buckets.  Clamped
+/// away from zero for degenerate (zero-delay) configurations, where the
+/// queue gracefully decays to one sorted bucket.
+double bucket_width_for(const simulator_config& config) {
+  const double mean_delay = 0.5 * (config.min_delay + config.max_delay);
+  return std::max(mean_delay / 8.0, 1e-6);
 }
 }  // namespace
 
 simulator::simulator(simulator_config config)
-    : config_(config), rng_(config.seed) {
+    : config_(config), rng_(config.seed), queue_(bucket_width_for(config)) {
   DRT_EXPECT(config_.min_delay >= 0.0);
   DRT_EXPECT(config_.max_delay >= config_.min_delay);
   DRT_EXPECT(config_.message_loss >= 0.0 && config_.message_loss <= 1.0);
@@ -34,6 +39,16 @@ void simulator::crash(process_id id) {
   auto& p = get(id);
   if (!p.alive_) return;
   p.alive_ = false;
+  // Dead-letter purge: in-flight messages to the crashed process would
+  // otherwise sit in the queue until their delivery times, spinning
+  // run_steps() budget one pop per dead letter.  Drop and count them now.
+  // Timers are kept: periodic chains must survive a crash/restart cycle.
+  const auto purged = queue_.erase_if([id](const pending_event& ev) {
+    return ev.what == pending_event::kind::message && ev.to == id;
+  });
+  metrics_.messages_to_dead += purged;
+  DRT_ENSURE(pending_work_ >= purged);
+  pending_work_ -= purged;
   p.on_crash();
 }
 
@@ -44,36 +59,19 @@ void simulator::restart(process_id id) {
   p.on_start();
 }
 
-bool simulator::is_alive(process_id id) const {
-  return id < processes_.size() && processes_[id]->alive_;
-}
-
-process& simulator::get(process_id id) {
-  DRT_EXPECT(id < processes_.size());
-  return *processes_[id];
-}
-
-const process& simulator::get(process_id id) const {
-  DRT_EXPECT(id < processes_.size());
-  return *processes_[id];
-}
-
 std::vector<process_id> simulator::live_processes() const {
   std::vector<process_id> out;
-  for (const auto& p : processes_) {
-    if (p->alive_) out.push_back(p->id_);
-  }
+  out.reserve(processes_.size());
+  for_each_live([&out](process_id id) { out.push_back(id); });
   return out;
 }
 
 void simulator::send(process_id from, process_id to, std::uint64_t type) {
-  post_message(from, to, type, nullptr, [] { return nullptr; });
+  post_message(from, to, type, envelope{});
 }
 
 void simulator::post_message(process_id from, process_id to,
-                             std::uint64_t type,
-                             std::shared_ptr<void> keepalive,
-                             std::function<const void*()> payload) {
+                             std::uint64_t type, envelope msg) {
   DRT_EXPECT(to < processes_.size());
   ++metrics_.messages_sent;
   if (link_filter_ && !link_filter_(from, to)) {
@@ -90,8 +88,7 @@ void simulator::post_message(process_id from, process_id to,
   ev.from = from;
   ev.to = to;
   ev.type = type;
-  ev.payload = std::move(payload);
-  ev.keepalive = std::move(keepalive);
+  ev.payload = std::move(msg);
   push_event(std::move(ev));
 }
 
@@ -111,7 +108,7 @@ void simulator::schedule_periodic(process_id target, std::uint64_t timer_type,
                                   sim_time period, sim_time phase) {
   DRT_EXPECT(target < processes_.size());
   DRT_EXPECT(period > 0.0);
-  auto& state = periodic_[periodic_key(target, timer_type)];
+  auto& state = periodic_[periodic_key{target, timer_type}];
   pending_event ev;
   ev.at = now_ + phase;
   ev.what = pending_event::kind::periodic;
@@ -124,7 +121,7 @@ void simulator::schedule_periodic(process_id target, std::uint64_t timer_type,
 
 void simulator::cancel_periodic(process_id target, std::uint64_t timer_type) {
   // Outstanding firings with the old generation are ignored on pop.
-  ++periodic_[periodic_key(target, timer_type)].generation;
+  ++periodic_[periodic_key{target, timer_type}].generation;
 }
 
 void simulator::push_event(pending_event ev) {
@@ -135,10 +132,7 @@ void simulator::push_event(pending_event ev) {
 
 bool simulator::pop_and_execute() {
   if (queue_.empty()) return false;
-  // priority_queue::top() is const; the payload is moved via const_cast,
-  // which is safe because the element is popped immediately after.
-  pending_event ev = std::move(const_cast<pending_event&>(queue_.top()));
-  queue_.pop();
+  pending_event ev = queue_.pop();
   if (ev.what != pending_event::kind::periodic) {
     DRT_ENSURE(pending_work_ > 0);
     --pending_work_;
@@ -150,13 +144,15 @@ bool simulator::pop_and_execute() {
   switch (ev.what) {
     case pending_event::kind::message:
       if (!target.alive_) {
+        // Sent while the target was already down (crash-time purge
+        // removed everything in flight at that point).
         ++metrics_.messages_to_dead;
         return true;
       }
       ++metrics_.messages_delivered;
       ++metrics_.handler_steps;
       if (trace_) trace_({now_, ev.from, ev.to, ev.type});
-      target.on_message(ev.from, ev.type, ev.payload ? ev.payload() : nullptr);
+      target.on_message(ev.from, ev.type, ev.payload);
       return true;
     case pending_event::kind::timer:
       if (!target.alive_) return true;
@@ -165,15 +161,19 @@ bool simulator::pop_and_execute() {
       target.on_timer(ev.type);
       return true;
     case pending_event::kind::periodic: {
-      const auto key = periodic_key(ev.to, ev.type);
-      auto it = periodic_.find(key);
+      const auto it = periodic_.find(periodic_key{ev.to, ev.type});
       if (it == periodic_.end() || it->second.generation != ev.generation) {
         return true;  // cancelled
       }
       // Re-arm first so a handler cancelling the timer also stops this
       // chain, then fire.
-      pending_event next = ev;
+      pending_event next;
       next.at = now_ + ev.period;
+      next.what = pending_event::kind::periodic;
+      next.to = ev.to;
+      next.type = ev.type;
+      next.period = ev.period;
+      next.generation = ev.generation;
       push_event(std::move(next));
       if (target.alive_) {
         ++metrics_.timers_fired;
@@ -188,7 +188,8 @@ bool simulator::pop_and_execute() {
 
 void simulator::run_until(sim_time until) {
   DRT_EXPECT(until >= now_);
-  while (!queue_.empty() && queue_.top().at <= until) {
+  while (const pending_event* top = queue_.peek()) {
+    if (top->at > until) break;
     pop_and_execute();
   }
   now_ = std::max(now_, until);

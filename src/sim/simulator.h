@@ -8,26 +8,29 @@
 // periodic timers (the paper's "periodically triggered" stabilization
 // events), and crash/restart of processes.  Everything is driven by one
 // seeded RNG, so every experiment is bit-reproducible.
+//
+// The messaging core is allocation-free on the hot path: payloads travel
+// in typed sim::envelope values (sim/message.h) and the scheduler is a
+// two-level calendar queue (sim/event_queue.h) with O(1) amortized
+// schedule/pop.  Event execution follows the strict total order
+// (at, seq) — see the determinism contract in DESIGN.md.
 #ifndef DRT_SIM_SIMULATOR_H
 #define DRT_SIM_SIMULATOR_H
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "sim/event_queue.h"
+#include "sim/message.h"
 #include "util/expect.h"
 #include "util/rng.h"
 
 namespace drt::sim {
-
-using process_id = std::uint32_t;
-inline constexpr process_id kNoProcess = static_cast<process_id>(-1);
-
-/// Wall-clock-free virtual time.
-using sim_time = double;
 
 class simulator;
 
@@ -45,9 +48,11 @@ class process {
 
   /// Called once when the process is added to the simulation.
   virtual void on_start() {}
-  /// A message from `from` (which may have crashed since sending).
+  /// A message from `from` (which may have crashed since sending).  Read
+  /// the payload with msg.visit<Payload>() — nullptr for payload-less
+  /// messages, and the cast is tag-checked (aborts on type confusion).
   virtual void on_message(process_id from, std::uint64_t type,
-                          const void* payload) = 0;
+                          const envelope& msg) = 0;
   /// A timer registered via simulator::schedule_timer fired.
   virtual void on_timer(std::uint64_t /*timer_type*/) {}
   /// The process crashed (uncontrolled departure).  State is NOT cleared
@@ -75,7 +80,7 @@ struct sim_metrics {
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;     ///< random loss
   std::uint64_t messages_partitioned = 0; ///< blocked by the link filter
-  std::uint64_t messages_to_dead = 0;
+  std::uint64_t messages_to_dead = 0;     ///< purged at crash or sent to dead
   std::uint64_t timers_fired = 0;
   std::uint64_t handler_steps = 0;  ///< total handler executions
 };
@@ -93,28 +98,60 @@ class simulator {
   process_id add_process(std::unique_ptr<process> p);
 
   /// Uncontrolled departure: the process stops receiving messages/timers.
-  /// In-flight messages *to* it are silently discarded on delivery.
+  /// Messages already in flight *to* it are purged from the queue and
+  /// counted as messages_to_dead; timers stay queued (periodic chains
+  /// survive a crash/restart cycle).
   void crash(process_id id);
 
   /// Restart a crashed process (keeps its — possibly stale — state).
   void restart(process_id id);
 
-  bool is_alive(process_id id) const;
-  process& get(process_id id);
-  const process& get(process_id id) const;
+  bool is_alive(process_id id) const {
+    return id < processes_.size() && processes_[id]->alive_;
+  }
+  process& get(process_id id) {
+    DRT_EXPECT(id < processes_.size());
+    return *processes_[id];
+  }
+  const process& get(process_id id) const {
+    DRT_EXPECT(id < processes_.size());
+    return *processes_[id];
+  }
+
+  /// Visit every live process id without materializing a vector (the
+  /// per-tick accounting loops in the overlay/harness run on this).
+  /// The visitor may return void, or bool with false meaning "stop
+  /// early" (selection walks shouldn't scan past their target).
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    for (const auto& p : processes_) {
+      if (!p->alive_) continue;
+      if constexpr (std::is_void_v<std::invoke_result_t<Fn&, process_id>>) {
+        fn(p->id_);
+      } else {
+        if (!fn(p->id_)) return;
+      }
+    }
+  }
+  std::size_t live_count() const {
+    std::size_t n = 0;
+    for (const auto& p : processes_) n += p->alive_ ? 1 : 0;
+    return n;
+  }
+  /// Allocating snapshot; prefer for_each_live()/live_count() in loops.
   std::vector<process_id> live_processes() const;
   std::size_t process_count() const { return processes_.size(); }
 
   // ----------------------------------------------------------- messaging
-  /// Send message `type` with copyable payload `body` (may be empty).
-  /// Delivery is delayed by uniform(min_delay, max_delay) and may be
-  /// dropped with probability `message_loss`.
+  /// Send message `type` with payload `body` (may be omitted).  Delivery
+  /// is delayed by uniform(min_delay, max_delay) and may be dropped with
+  /// probability `message_loss`.  Payloads up to
+  /// envelope::kMaxPooledPayload travel in slab-recycled pool blocks —
+  /// allocation-free once the simulation reaches a steady state.
   template <typename Payload>
   void send(process_id from, process_id to, std::uint64_t type,
             Payload body) {
-    auto owned = std::make_shared<Payload>(std::move(body));
-    post_message(from, to, type, owned,
-                 [owned]() -> const void* { return owned.get(); });
+    post_message(from, to, type, envelope::wrap(pool_, std::move(body)));
   }
   void send(process_id from, process_id to, std::uint64_t type);
 
@@ -167,11 +204,33 @@ class simulator {
   const simulator_config& config() const { return config_; }
 
  private:
-  struct pending_event;
+  /// (target, timer type) identity of one periodic chain.  The full pair
+  /// is the key — no bit-packing, so timer types with bits above 32 can
+  /// never alias another process's chain.
+  struct periodic_key {
+    process_id target = kNoProcess;
+    std::uint64_t type = 0;
+    friend bool operator==(const periodic_key&,
+                           const periodic_key&) = default;
+  };
+  struct periodic_key_hash {
+    std::size_t operator()(const periodic_key& k) const {
+      std::uint64_t x =
+          k.type ^ (0x9e3779b97f4a7c15ull * (std::uint64_t{k.target} + 1));
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ull;
+      x ^= x >> 27;
+      x *= 0x94d049bb133111ebull;
+      x ^= x >> 31;
+      return static_cast<std::size_t>(x);
+    }
+  };
+  struct periodic_state {
+    std::uint64_t generation = 0;  // bump to cancel outstanding firings
+  };
 
   void post_message(process_id from, process_id to, std::uint64_t type,
-                    std::shared_ptr<void> keepalive,
-                    std::function<const void*()> payload);
+                    envelope msg);
   void push_event(pending_event ev);
   bool pop_and_execute();
 
@@ -184,32 +243,10 @@ class simulator {
   link_filter link_filter_;
   trace_hook trace_;
   std::vector<std::unique_ptr<process>> processes_;
-
-  struct periodic_state {
-    std::uint64_t generation = 0;  // bump to cancel outstanding firings
-  };
-  std::unordered_map<std::uint64_t, periodic_state> periodic_;  // key: id<<32|type
-
-  struct pending_event {
-    sim_time at = 0.0;
-    std::uint64_t seq = 0;  // FIFO tie-break for determinism
-    enum class kind : std::uint8_t { message, timer, periodic } what = kind::message;
-    process_id from = kNoProcess;
-    process_id to = kNoProcess;
-    std::uint64_t type = 0;
-    std::function<const void*()> payload;  // messages only
-    std::shared_ptr<void> keepalive;
-    sim_time period = 0.0;       // periodic only
-    std::uint64_t generation = 0;  // periodic only
-  };
-  struct event_order {
-    bool operator()(const pending_event& a, const pending_event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-  std::priority_queue<pending_event, std::vector<pending_event>, event_order>
-      queue_;
+  std::unordered_map<periodic_key, periodic_state, periodic_key_hash>
+      periodic_;
+  payload_pool pool_;
+  calendar_queue queue_;
 };
 
 }  // namespace drt::sim
