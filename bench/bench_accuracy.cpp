@@ -7,49 +7,64 @@
 // false-positive rate (probability a peer receives an event it did not
 // subscribe to) in the low single-digit percent range for most
 // subscription families and event distributions.
+//
+// Driven through the engine: one declarative scenario (populate →
+// converge → publish_sweep) executed by scenario_runner on the DR-tree
+// backend; the numbers come out of the metrics recorder.
 #include <benchmark/benchmark.h>
 
-#include "analysis/harness.h"
 #include "bench_common.h"
+#include "engine/backends.h"
+#include "engine/runner.h"
+#include "engine/scenario.h"
 #include "util/table.h"
 
 namespace {
 
-using drt::analysis::testbed;
 using drt::bench::results;
+using drt::engine::metrics_recorder;
 using drt::util::table;
 using drt::workload::event_family;
 using drt::workload::subscription_family;
 
 void BM_Accuracy(benchmark::State& state) {
-  const auto family =
-      static_cast<subscription_family>(state.range(0));
+  const auto family = static_cast<subscription_family>(state.range(0));
   const auto events = static_cast<event_family>(state.range(1));
   const std::size_t n = 128;
 
-  drt::analysis::harness_config hc;
-  hc.family = family;
-  hc.net.seed = 71 + state.range(0) * 7 + state.range(1);
+  const auto sc = drt::engine::scenario::make("accuracy")
+                      .family(family)
+                      .populate(n)
+                      .converge()
+                      .publish_sweep(300, events)
+                      .build();
 
-  testbed::accuracy acc;
+  drt::engine::overlay_backend_config bc;
+  bc.net.seed = 71 + static_cast<std::uint64_t>(state.range(0)) * 7 +
+                static_cast<std::uint64_t>(state.range(1));
+
+  metrics_recorder rec;
   for (auto _ : state) {
-    testbed tb(hc);
-    tb.populate(n);
-    tb.converge();
-    acc = tb.publish_sweep(300, events);
+    drt::engine::drtree_backend be(bc);
+    drt::engine::scenario_runner runner(be);
+    rec = runner.run(sc);
   }
 
-  state.counters["fp_rate"] = acc.fp_rate();
-  state.counters["false_negatives"] = static_cast<double>(acc.false_negatives);
-  state.counters["msgs_per_event"] = acc.messages_per_event();
+  const auto* sweep = rec.last("publish_sweep");
+  state.counters["fp_rate"] = sweep->fp_rate();
+  state.counters["false_negatives"] =
+      static_cast<double>(sweep->false_negatives);
+  state.counters["msgs_per_event"] = sweep->messages_per_event();
 
   results::instance().set_headers({"subscriptions", "events", "fp_rate",
                                    "false_negatives", "msgs/event",
                                    "deliveries", "interested"});
   results::instance().add_row(
-      {to_string(family), to_string(events), table::cell(acc.fp_rate(), 4),
-       table::cell(acc.false_negatives), table::cell(acc.messages_per_event(), 1),
-       table::cell(acc.deliveries), table::cell(acc.interested)});
+      {to_string(family), to_string(events),
+       table::cell(sweep->fp_rate(), 4),
+       table::cell(sweep->false_negatives),
+       table::cell(sweep->messages_per_event(), 1),
+       table::cell(sweep->deliveries), table::cell(sweep->interested)});
 }
 
 }  // namespace

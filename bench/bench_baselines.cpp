@@ -9,123 +9,109 @@
 //    state/installation traffic blow up with broad filters;
 //  * DR-tree: FN = 0, low FP, bounded degree (<= M), logarithmic height —
 //    "combines the best of both worlds".
+//
+// Every system runs behind the engine backend interface, through the one
+// scenario_runner, on the same scenarios with the same seeds.  Both
+// timelines here stay inside every backend's capability mask, so every
+// backend sees identical generated filters, identical event sequences,
+// and identical victim picks, and the recorder's fixed-schema rows are
+// directly comparable across backends (DESIGN.md §6).  Two scenarios
+// per workload family:
+//
+//  * static_accuracy — the baselines' best case (populate, then sweep);
+//  * rolling_churn   — the paper's actual regime: repeated join/leave
+//    waves with accuracy sweeps in between.  The first dynamic-workload
+//    E14: baselines pay a full structure rebuild per membership change
+//    (their only honest dynamic semantics), the DR-tree repairs
+//    incrementally.
 #include <benchmark/benchmark.h>
 
 #include <memory>
 
-#include "analysis/harness.h"
-#include "baselines/containment_tree.h"
-#include "baselines/dimension_forest.h"
-#include "baselines/flooding.h"
-#include "baselines/zcurve_dht.h"
 #include "bench_common.h"
-#include "drtree/checker.h"
-#include "util/table.h"
+#include "engine/backends.h"
+#include "engine/runner.h"
+#include "engine/scenario.h"
 
 namespace {
 
-using drt::analysis::testbed;
 using drt::bench::results;
-using drt::util::table;
+using drt::engine::metrics_recorder;
 using drt::workload::subscription_family;
 
 constexpr std::size_t kN = 128;
 constexpr std::size_t kEvents = 200;
 
-struct shared_workload {
-  std::vector<drt::spatial::box> subs;
-  std::vector<std::pair<std::size_t, drt::spatial::pt>> pubs;
-};
+double run_all_backends(const drt::engine::scenario& sc) {
+  drt::engine::overlay_backend_config bc;
+  bc.net.seed = 109;
 
-shared_workload make_workload(subscription_family family, std::uint64_t seed) {
-  shared_workload w;
-  drt::util::rng rng(seed);
-  drt::workload::subscription_params params;
-  params.workspace = drt::geo::make_rect2(0, 0, 1000, 1000);
-  w.subs = drt::workload::make_subscriptions(family, kN, rng, params);
-  for (std::size_t i = 0; i < kEvents; ++i) {
-    w.pubs.emplace_back(rng.index(kN),
-                        drt::workload::make_event_point(
-                            drt::workload::event_family::matching, rng,
-                            params.workspace, w.subs));
+  double drtree_fp = 0.0;
+  for (auto& be : drt::engine::make_all_backends(bc)) {
+    drt::engine::scenario_runner runner(*be);
+    const auto rec = runner.run(sc);
+    // All five backends feed the identical schema: one table, one JSON.
+    results::instance().set_headers(metrics_recorder::headers());
+    const auto rows = rec.to_table();
+    for (const auto& row : rows.data()) {
+      results::instance().add_row(row);
+    }
+    if (be->name() == "drtree") {
+      if (const auto* sweep = rec.last("publish_sweep")) {
+        drtree_fp = sweep->fp_rate();
+      }
+    }
   }
-  return w;
+  return drtree_fp;
 }
 
-void add_baseline_row(const char* workload_name,
-                      drt::baselines::pubsub_baseline& overlay,
-                      const shared_workload& w) {
-  overlay.build(w.subs);
-  const auto acc = measure_accuracy(overlay, w.subs, w.pubs);
-  const auto shape = overlay.shape();
-  results::instance().add_row(
-      {overlay.name(), workload_name, table::cell(acc.fp_rate(), 4),
-       table::cell(acc.fn_rate(), 4),
-       table::cell(static_cast<double>(acc.messages) / kEvents, 1),
-       table::cell(shape.max_degree), table::cell(shape.height),
-       table::cell(shape.routing_state)});
-}
-
-void BM_Baselines(benchmark::State& state) {
+void BM_BaselinesStatic(benchmark::State& state) {
   const auto family = static_cast<subscription_family>(state.range(0));
-  const auto w = make_workload(family, 107 + state.range(0));
-
-  results::instance().set_headers({"system", "workload", "fp_rate",
-                                   "fn_rate", "msgs/event", "max_degree",
-                                   "height", "routing_state"});
+  const auto sc =
+      drt::engine::scenario::make(std::string("static_") + to_string(family))
+          .seed(107 + static_cast<std::uint64_t>(state.range(0)))
+          .family(family)
+          .populate(kN)
+          .converge()
+          .publish_sweep(kEvents, drt::workload::event_family::matching)
+          .build();
 
   double drtree_fp = 0.0;
   for (auto _ : state) {
-    // DR-tree on the identical workload, via the full protocol stack.
-    drt::analysis::harness_config hc;
-    hc.net.seed = 109 + state.range(0);
-    testbed tb(hc);
-    for (const auto& s : w.subs) tb.add(s);
-    tb.converge();
-    testbed::accuracy acc;
-    acc.population = tb.overlay().live_count();
-    for (const auto& [pub, value] : w.pubs) {
-      const auto r = tb.overlay().publish_and_drain(
-          tb.overlay().live_peers()[pub % tb.overlay().live_count()], value);
-      ++acc.events;
-      acc.deliveries += r.delivered;
-      acc.interested += r.interested;
-      acc.false_positives += r.false_positives;
-      acc.false_negatives += r.false_negatives;
-      acc.messages += r.messages;
-    }
-    drtree_fp = acc.fp_rate();
-    const auto report = tb.report();
-    results::instance().add_row(
-        {"drtree", to_string(family), table::cell(acc.fp_rate(), 4),
-         table::cell(acc.fn_rate(), 4),
-         table::cell(acc.messages_per_event(), 1),
-         table::cell(report.max_interior_children),
-         table::cell(report.height), table::cell(report.memory_links)});
+    drtree_fp = run_all_backends(sc);
+  }
+  state.counters["drtree_fp"] = drtree_fp;
+}
 
-    drt::baselines::containment_tree ct;
-    add_baseline_row(to_string(family), ct, w);
-    drt::baselines::dimension_forest df;
-    add_baseline_row(to_string(family), df, w);
-    drt::baselines::flooding fl(4, 113);
-    add_baseline_row(to_string(family), fl, w);
-    drt::baselines::zcurve_dht dht(drt::geo::make_rect2(0, 0, 1000, 1000), 5, 127);
-    add_baseline_row(to_string(family), dht, w);
+void BM_BaselinesRollingChurn(benchmark::State& state) {
+  const auto sc = drt::engine::canned::rolling_churn(
+      /*n=*/48, /*waves=*/3, /*ops=*/12,
+      /*seed=*/113 + static_cast<std::uint64_t>(state.range(0)));
+
+  double drtree_fp = 0.0;
+  for (auto _ : state) {
+    drtree_fp = run_all_backends(sc);
   }
   state.counters["drtree_fp"] = drtree_fp;
 }
 
 }  // namespace
 
-BENCHMARK(BM_Baselines)
+BENCHMARK(BM_BaselinesStatic)
     ->Arg(0)  // uniform
     ->Arg(3)  // nested
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+BENCHMARK(BM_BaselinesRollingChurn)
+    ->Arg(0)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
 DRT_BENCH_MAIN(
-    "E14: DR-tree vs baselines (§3.1/§4)",
+    "E14: DR-tree vs baselines (§3.1/§4), static and under rolling churn",
     "Expect: flooding max FP; dimension forest high FP + fan-out; "
     "containment tree exact but unbalanced (degree/height); zcurve DHT "
-    "exact but heavy routing_state; DR-tree low FP with bounded degree "
-    "and logarithmic height.")
+    "exact but heavy routing_state + rebuild traffic under churn; "
+    "DR-tree low FP with bounded degree, logarithmic height, and "
+    "incremental (no-rebuild) repair.")

@@ -18,6 +18,10 @@
 //    the protocol stabilizes continuously instead of betting on the
 //    bound.
 //
+// The overlay under measurement is built by the engine (scenario:
+// populate → converge on the DR-tree backend); the ancestor chains are
+// read off the converged structure.
+//
 // Expected shape: measured E[T] falls steeply as lambda grows and rises
 // steeply with N — the model's exponential sensitivity to Δλ/N — and the
 // near-critical measurements agree with the closed form within the
@@ -28,16 +32,17 @@
 #include <sstream>
 #include <vector>
 
-#include "analysis/harness.h"
 #include "analysis/models.h"
 #include "bench_common.h"
+#include "engine/backends.h"
+#include "engine/runner.h"
+#include "engine/scenario.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 namespace {
 
-using drt::analysis::testbed;
 using drt::bench::results;
 using drt::util::table;
 
@@ -77,17 +82,18 @@ double lemma_event_time(std::size_t n, double delta, double lambda,
 }
 
 /// Series B: structural proxy on real overlay ancestor chains.
-std::vector<std::vector<std::size_t>> ancestor_chains(testbed& tb) {
-  const auto live = tb.overlay().live_peers();
+std::vector<std::vector<std::size_t>> ancestor_chains(
+    const drt::overlay::dr_overlay& ov) {
+  const auto live = ov.live_peers();
   std::vector<std::vector<std::size_t>> chains;
   chains.reserve(live.size());
   for (const auto p : live) {
     std::vector<std::size_t> chain;
     auto cur = p;
-    auto h = tb.overlay().peer(p).top();
+    auto h = ov.peer(p).top();
     std::size_t guard = 0;
     while (guard++ < 64) {
-      const auto* ins = tb.overlay().peer(cur).find_inst(h);
+      const auto* ins = ov.peer(cur).find_inst(h);
       if (ins == nullptr || ins->parent == cur) break;
       cur = ins->parent;
       ++h;
@@ -130,12 +136,15 @@ void BM_Churn(benchmark::State& state) {
   const double delta = static_cast<double>(state.range(1));
   const double lambda = static_cast<double>(state.range(2)) / 10.0;
 
-  drt::analysis::harness_config hc;
-  hc.net.seed = 61 + n;
-  testbed tb(hc);
-  tb.populate(n);
-  tb.converge();
-  const auto chains = ancestor_chains(tb);
+  drt::engine::overlay_backend_config bc;
+  bc.net.seed = 61 + n;
+  drt::engine::drtree_backend be(bc);
+  drt::engine::scenario_runner runner(be);
+  runner.run(drt::engine::scenario::make("churn_substrate")
+                 .populate(n)
+                 .converge()
+                 .build());
+  const auto chains = ancestor_chains(be.overlay());
 
   drt::util::rng rng(77 + n + static_cast<std::uint64_t>(lambda * 10));
   double lemma_time = 0.0;

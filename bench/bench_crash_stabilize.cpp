@@ -5,16 +5,24 @@
 // shape: heavier crash fractions need more rounds (orphaned subtrees
 // rejoin through the oracle), but convergence is always reached; crashing
 // the root is survivable.
+//
+// Driven through the engine: the scenario is populate → converge →
+// crash_burst → converge_until_legal; rounds and repair traffic come out
+// of the recorder.  A second benchmark runs the canned massacre_then_heal
+// scenario (crash a third including the root, corrupt half the
+// survivors, heal, verify accuracy).
 #include <benchmark/benchmark.h>
 
-#include "analysis/harness.h"
 #include "bench_common.h"
+#include "engine/backends.h"
+#include "engine/runner.h"
+#include "engine/scenario.h"
 #include "util/table.h"
 
 namespace {
 
-using drt::analysis::testbed;
 using drt::bench::results;
+using drt::engine::metrics_recorder;
 using drt::util::table;
 
 void BM_CrashStabilize(benchmark::State& state) {
@@ -22,49 +30,67 @@ void BM_CrashStabilize(benchmark::State& state) {
   const auto crash_pct = static_cast<std::size_t>(state.range(1));
   const bool kill_root = state.range(2) != 0;
 
-  drt::analysis::harness_config hc;
-  hc.net.seed = 41 + n + crash_pct;
+  const std::size_t target = std::max<std::size_t>(1, n * crash_pct / 100);
+  const auto sc = drt::engine::scenario::make("crash_stabilize")
+                      .populate(n)
+                      .converge()
+                      .crash_count(target, kill_root)
+                      .converge(500)
+                      .build();
 
-  int rounds = 0;
-  std::uint64_t messages = 0;
-  bool legal = false;
+  drt::engine::overlay_backend_config bc;
+  bc.net.seed = 41 + n + crash_pct;
+
+  metrics_recorder rec;
   for (auto _ : state) {
-    testbed tb(hc);
-    tb.populate(n);
-    tb.converge();
-
-    auto live = tb.overlay().live_peers();
-    tb.workload_rng().shuffle(live);
-    std::size_t crashed = 0;
-    const std::size_t target = std::max<std::size_t>(1, n * crash_pct / 100);
-    if (kill_root) {
-      tb.overlay().crash(tb.overlay().current_root());
-      ++crashed;
-    }
-    for (const auto p : live) {
-      if (crashed >= target) break;
-      if (tb.overlay().alive(p)) {
-        tb.overlay().crash(p);
-        ++crashed;
-      }
-    }
-    const auto m0 = tb.overlay().sim().metrics().messages_sent;
-    rounds = tb.converge(500);
-    messages = tb.overlay().sim().metrics().messages_sent - m0;
-    legal = tb.legal();
+    drt::engine::drtree_backend be(bc);
+    drt::engine::scenario_runner runner(be);
+    rec = runner.run(sc);
   }
 
-  state.counters["rounds"] = rounds;
-  state.counters["messages"] = static_cast<double>(messages);
-  state.counters["legal"] = legal ? 1.0 : 0.0;
+  const auto* heal = rec.last("converge_until_legal");
+  state.counters["rounds"] = heal->rounds;
+  state.counters["messages"] = static_cast<double>(heal->messages);
+  state.counters["legal"] = heal->legal == 1 ? 1.0 : 0.0;
 
   results::instance().set_headers({"N", "crash_%", "root_killed",
                                    "rounds_to_legal", "repair_messages",
                                    "legal"});
   results::instance().add_row(
       {table::cell(n), table::cell(crash_pct), kill_root ? "yes" : "no",
-       table::cell(static_cast<std::int64_t>(rounds)), table::cell(messages),
-       legal ? "yes" : "NO"});
+       table::cell(static_cast<std::int64_t>(heal->rounds)),
+       table::cell(static_cast<std::size_t>(heal->messages)),
+       heal->legal == 1 ? "yes" : "NO"});
+}
+
+void BM_MassacreThenHeal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+
+  drt::engine::overlay_backend_config bc;
+  bc.net.seed = 47 + n;
+
+  metrics_recorder rec;
+  for (auto _ : state) {
+    drt::engine::drtree_backend be(bc);
+    drt::engine::scenario_runner runner(be);
+    rec = runner.run(drt::engine::canned::massacre_then_heal(n));
+  }
+
+  const auto* heal = rec.last("converge_until_legal");
+  const auto* sweep = rec.last("publish_sweep");
+  state.counters["rounds"] = heal->rounds;
+  state.counters["legal"] = heal->legal == 1 ? 1.0 : 0.0;
+  state.counters["fn_after_heal"] =
+      static_cast<double>(sweep->false_negatives);
+
+  results::instance().set_headers({"N", "crash_%", "root_killed",
+                                   "rounds_to_legal", "repair_messages",
+                                   "legal"});
+  results::instance().add_row(
+      {table::cell(n), "massacre", "yes",
+       table::cell(static_cast<std::int64_t>(heal->rounds)),
+       table::cell(static_cast<std::size_t>(heal->messages)),
+       heal->legal == 1 && sweep->false_negatives == 0 ? "yes" : "NO"});
 }
 
 }  // namespace
@@ -75,7 +101,14 @@ BENCHMARK(BM_CrashStabilize)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+BENCHMARK(BM_MassacreThenHeal)
+    ->Arg(60)
+    ->Arg(120)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
 DRT_BENCH_MAIN(
     "E7: stabilization after uncontrolled crashes (Lemma 3.5)",
     "Expect convergence in every scenario (finite repair), with rounds "
-    "growing with the crash fraction; root loss is survivable.")
+    "growing with the crash fraction; root loss and the combined "
+    "massacre (crash a third + corrupt survivors) are survivable.")

@@ -5,16 +5,22 @@
 // the worst case.  Expected shape: rounds-to-legal stays small (a few
 // stabilization periods) and grows mildly with N and with the leave
 // fraction; messages grow near-linearly with the number of leavers.
+//
+// Driven through the engine: populate → converge → controlled_leave_wave
+// → converge_until_legal; the handoff variant flips dr.efficient_leave
+// on the backend config.
 #include <benchmark/benchmark.h>
 
-#include "analysis/harness.h"
 #include "bench_common.h"
+#include "engine/backends.h"
+#include "engine/runner.h"
+#include "engine/scenario.h"
 #include "util/table.h"
 
 namespace {
 
-using drt::analysis::testbed;
 using drt::bench::results;
+using drt::engine::metrics_recorder;
 using drt::util::table;
 
 void BM_LeaveStabilize(benchmark::State& state) {
@@ -22,42 +28,44 @@ void BM_LeaveStabilize(benchmark::State& state) {
   const auto leave_pct = static_cast<std::size_t>(state.range(1));
   const bool handoff = state.range(2) != 0;
 
-  drt::analysis::harness_config hc;
-  hc.net.seed = 31 + n + leave_pct;
-  hc.dr.efficient_leave = handoff;
+  const std::size_t leavers = std::max<std::size_t>(1, n * leave_pct / 100);
+  const auto sc = drt::engine::scenario::make("leave_stabilize")
+                      .populate(n)
+                      .converge()
+                      .leave_count(leavers)
+                      .converge(400)
+                      .build();
 
-  int rounds = 0;
-  std::uint64_t messages = 0;
-  bool legal = false;
+  drt::engine::overlay_backend_config bc;
+  bc.net.seed = 31 + n + leave_pct;
+  bc.dr.efficient_leave = handoff;
+
+  metrics_recorder rec;
   for (auto _ : state) {
-    testbed tb(hc);
-    tb.populate(n);
-    tb.converge();
-
-    auto live = tb.overlay().live_peers();
-    tb.workload_rng().shuffle(live);
-    const std::size_t leavers = std::max<std::size_t>(1, n * leave_pct / 100);
-    const auto m0 = tb.overlay().sim().metrics().messages_sent;
-    for (std::size_t i = 0; i < leavers && i < live.size(); ++i) {
-      tb.overlay().controlled_leave(live[i]);
-      tb.overlay().settle();
-    }
-    rounds = tb.converge(400);
-    messages = tb.overlay().sim().metrics().messages_sent - m0;
-    legal = tb.legal();
+    drt::engine::drtree_backend be(bc);
+    drt::engine::scenario_runner runner(be);
+    rec = runner.run(sc);
   }
 
-  state.counters["rounds"] = rounds;
+  const auto* wave = rec.last("controlled_leave_wave");
+  const auto* heal = rec.last("converge_until_legal");
+  // Repair traffic spans the departures themselves plus the rounds to
+  // re-legalize (the historical measurement window).
+  const auto messages = wave->messages + heal->messages;
+
+  state.counters["rounds"] = heal->rounds;
   state.counters["messages"] = static_cast<double>(messages);
-  state.counters["legal"] = legal ? 1.0 : 0.0;
+  state.counters["legal"] = heal->legal == 1 ? 1.0 : 0.0;
 
   results::instance().set_headers({"N", "leave_%", "variant",
                                    "rounds_to_legal", "repair_messages",
                                    "legal"});
-  results::instance().add_row({table::cell(n), table::cell(leave_pct),
-                               handoff ? "handoff" : "fig9",
-                               table::cell(static_cast<std::int64_t>(rounds)),
-                               table::cell(messages), legal ? "yes" : "NO"});
+  results::instance().add_row(
+      {table::cell(n), table::cell(leave_pct),
+       handoff ? "handoff" : "fig9",
+       table::cell(static_cast<std::int64_t>(heal->rounds)),
+       table::cell(static_cast<std::size_t>(messages)),
+       heal->legal == 1 ? "yes" : "NO"});
 }
 
 }  // namespace

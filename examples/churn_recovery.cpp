@@ -1,52 +1,29 @@
-// Self-stabilization demo: build a healthy DR-tree, then hit it with a
-// combined disaster — crash a third of the peers (including the root) and
-// corrupt the memory of half the survivors — and watch the CHECK_*
-// modules repair the overlay round by round until the configuration is
-// legitimate again (Definition 3.2 / Lemma 3.6).
+// Self-stabilization demo on the engine API: the canned
+// massacre_then_heal scenario — build a healthy DR-tree, crash a third of
+// the peers (root included), corrupt the memory of half the survivors,
+// and watch the CHECK_* modules repair the overlay round by round until
+// the configuration is legitimate again (Definition 3.2 / Lemma 3.6).
+//
+// The whole disaster is one declarative timeline executed by
+// scenario_runner; the round-by-round table hooks the runner's converge
+// observer.
 #include <iostream>
 
-#include "analysis/harness.h"
 #include "drtree/checker.h"
-#include "drtree/corruptor.h"
+#include "engine/backends.h"
+#include "engine/runner.h"
+#include "engine/scenario.h"
 
 int main() {
   using namespace drt;
 
-  analysis::harness_config hc;
-  hc.net.seed = 2027;
-  analysis::testbed tb(hc);
+  engine::overlay_backend_config bc;
+  bc.net.seed = 2027;
+  engine::drtree_backend backend(bc);
 
-  std::cout << "building a 60-peer DR-tree... " << std::flush;
-  tb.populate(60);
-  tb.converge();
-  std::cout << "legal: " << (tb.legal() ? "yes" : "no") << "\n";
-
-  // Disaster 1: crash 20 peers, root included.
-  auto live = tb.overlay().live_peers();
-  const auto root = tb.overlay().current_root();
-  tb.overlay().crash(root);
-  std::size_t crashed = 1;
-  for (const auto p : live) {
-    if (crashed >= 20) break;
-    if (p != root && crashed < 20) {
-      tb.overlay().crash(p);
-      ++crashed;
-    }
-  }
-  std::cout << "crashed " << crashed << " peers (root " << root
-            << " included)\n";
-
-  // Disaster 2: scramble the survivors' memories.
-  overlay::corruptor vandal(tb.overlay(), 4242);
-  const auto mutations = vandal.corrupt(overlay::uniform_corruption(0.5));
-  std::cout << "corrupted survivor state with " << mutations
-            << " mutations\n\n";
-
-  std::cout << "round  violations  roots  reachable/live\n";
-  std::cout << "-----  ----------  -----  --------------\n";
-  int converged_at = -1;
-  for (int round = 0; round < 120; ++round) {
-    const auto report = overlay::checker(tb.overlay()).check();
+  engine::runner_config rc;
+  rc.on_converge_round = [&backend](int round, bool) {
+    const auto report = overlay::checker(backend.overlay()).check();
     std::cout.width(5);
     std::cout << round << "  ";
     std::cout.width(10);
@@ -55,25 +32,32 @@ int main() {
     std::cout << report.roots << "  ";
     std::cout.width(9);
     std::cout << report.reachable << "/" << report.live_peers << "\n";
-    if (report.legal()) {
-      converged_at = round;
-      break;
-    }
-    tb.overlay().advance(tb.config().dr.stabilize_period);
-    tb.overlay().settle();
-  }
+  };
+  engine::scenario_runner runner(backend, rc);
 
-  if (converged_at < 0) {
+  const auto sc = engine::canned::massacre_then_heal(
+      /*n=*/60, /*crash_fraction=*/1.0 / 3, /*corruption=*/0.5,
+      /*seed=*/4242);
+  std::cout << "running scenario '" << sc.name << "' ("
+            << sc.timeline.size() << " phases) on backend '"
+            << backend.name() << "'\n\n";
+  std::cout << "round  violations  roots  reachable/live\n";
+  std::cout << "-----  ----------  -----  --------------\n";
+
+  const auto rec = runner.run(sc);
+
+  std::cout << "\n";
+  rec.to_table().print(std::cout);
+
+  const auto* heal = rec.last("converge_until_legal");
+  const auto* sweep = rec.last("publish_sweep");
+  if (heal == nullptr || heal->rounds < 0) {
     std::cout << "\ndid not converge within the round budget\n";
     return 1;
   }
   std::cout << "\nconverged to a legitimate configuration after "
-            << converged_at << " stabilization rounds\n";
-
-  // The repaired overlay still disseminates correctly.
-  const auto acc = tb.publish_sweep(100, workload::event_family::matching);
-  std::cout << "post-recovery sweep: " << acc.events << " events, "
-            << acc.false_negatives << " false negatives, fp rate "
-            << acc.fp_rate() << "\n";
-  return acc.false_negatives == 0 ? 0 : 1;
+            << heal->rounds << " stabilization rounds\n";
+  std::cout << "post-recovery sweep: " << sweep->events << " events, "
+            << sweep->false_negatives << " false negatives\n";
+  return sweep->false_negatives == 0 ? 0 : 1;
 }

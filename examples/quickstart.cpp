@@ -3,14 +3,17 @@
 //  1. The eight sample subscriptions of Fig. 1 and their containment
 //     graph (Fig. 1, right).
 //  2. A classic R-tree over the same filters (Figs. 2/3).
-//  3. The DR-tree overlay: join all eight subscribers, show the levels
-//     (Fig. 4), publish the four sample events and report exactly who
-//     received each one (the §3 dissemination walkthrough).
+//  3. The DR-tree overlay via the engine's scenario builder: join all
+//     eight subscribers declaratively, show the levels (Fig. 4), publish
+//     the four sample events and report exactly who received each one
+//     (the §3 dissemination walkthrough).
 #include <cstdio>
 #include <iostream>
 
-#include "analysis/harness.h"
 #include "drtree/checker.h"
+#include "engine/backends.h"
+#include "engine/runner.h"
+#include "engine/scenario.h"
 #include "rtree/rtree.h"
 #include "spatial/containment.h"
 #include "spatial/sample.h"
@@ -45,26 +48,40 @@ int main() {
             << " leaves), " << stats.splits << " splits\n";
 
   std::cout << "\n== DR-tree overlay (Fig. 4) ==\n";
-  analysis::harness_config hc;
-  hc.dr.min_children = 2;
-  hc.dr.max_children = 4;
-  hc.dr.workspace = spatial::sample_workspace();
-  analysis::testbed tb(hc);
-  std::vector<spatial::peer_id> ids;
-  for (const auto& s : subs) ids.push_back(tb.add(s.filter));
-  tb.converge();
+  engine::overlay_backend_config bc;
+  bc.dr.min_children = 2;
+  bc.dr.max_children = 4;
+  bc.dr.workspace = spatial::sample_workspace();
+  engine::drtree_backend backend(bc);
+  engine::scenario_runner runner(backend);
 
-  const auto report = tb.report(/*check_containment=*/true);
+  // The paper's walkthrough as a declarative scenario: subscribe the
+  // eight filters of Fig. 1 in order, then converge to a legitimate
+  // configuration.
+  std::vector<spatial::box> filters;
+  for (const auto& s : subs) filters.push_back(s.filter);
+  runner.run(engine::scenario::make("quickstart")
+                 .subscribe(filters)
+                 .converge()
+                 .build());
+
+  const auto ids = backend.active();
+  auto& overlay = backend.overlay();
+  const auto report = overlay::checker(overlay).check(
+      /*check_containment=*/true);
   std::cout << "  legal configuration: " << (report.legal() ? "yes" : "no")
             << ", height " << report.height << ", root peer "
-            << labels[tb.overlay().current_root() - ids.front()] << "\n";
+            << labels[overlay.current_root() -
+                      static_cast<spatial::peer_id>(ids.front())]
+            << "\n";
   for (std::size_t i = 0; i < ids.size(); ++i) {
-    const auto& peer = tb.overlay().peer(ids[i]);
+    const auto& peer = overlay.peer(static_cast<spatial::peer_id>(ids[i]));
     std::cout << "  " << labels[i] << " active at heights 0.." << peer.top();
     if (peer.top() > 0) {
       std::cout << " (children at top:";
       for (const auto c : peer.inst(peer.top()).children) {
-        std::cout << ' ' << labels[c - ids.front()];
+        std::cout << ' ' << labels[c - static_cast<spatial::peer_id>(
+                                           ids.front())];
       }
       std::cout << ")";
     }
@@ -78,8 +95,9 @@ int main() {
   const char* names = "abcd";
   for (std::size_t e = 0; e < events.size(); ++e) {
     // The paper's walkthrough publishes `a` from S2; publish everything
-    // from S2 for continuity.
-    const auto r = tb.overlay().publish_and_drain(ids[1], events[e].value);
+    // from S2 for continuity.  backend::publish normalizes the accuracy
+    // accounting the same way every other engine experiment sees it.
+    const auto r = backend.publish(ids[1], events[e].value);
     std::cout << "  event " << names[e] << " at "
               << events[e].value.to_string() << ": " << r.interested
               << " interested, " << r.delivered << " delivered, "
@@ -92,10 +110,12 @@ int main() {
   // §1: the balanced overlay doubles as a spatial index; find every
   // subscription intersecting a query window, in O(log N) routing.
   const auto window = geo::make_rect2(20, 40, 45, 75);
-  const auto sr = tb.overlay().search_and_drain(ids[6], window);  // from S7
+  const auto sr = overlay.search_and_drain(
+      static_cast<spatial::peer_id>(ids[6]), window);  // from S7
   std::cout << "  query " << window.to_string() << " from S7 -> hits:";
   for (const auto hit : sr.hits) {
-    std::cout << ' ' << labels[hit - ids.front()];
+    std::cout << ' '
+              << labels[hit - static_cast<spatial::peer_id>(ids.front())];
   }
   std::cout << "  (" << sr.messages << " messages, " << sr.false_negatives
             << " missed)\n";

@@ -2,67 +2,20 @@
 
 namespace drt::analysis {
 
-testbed::testbed(harness_config config)
-    : config_(config),
-      overlay_(std::make_unique<overlay::dr_overlay>(config.dr, config.net)),
-      workload_rng_(config.workload_seed) {}
+testbed::testbed(harness_config config) : config_(config) {
+  engine::overlay_backend_config bc;
+  bc.dr = config_.dr;
+  bc.net = config_.net;
+  backend_ = std::make_unique<engine::drtree_backend>(bc);
 
-void testbed::populate(std::size_t n) {
-  auto params = config_.subs;
-  params.workspace = config_.dr.workspace;
-  const auto rects = workload::make_subscriptions(config_.family, n,
-                                                  workload_rng_, params);
-  for (const auto& r : rects) add(r);
-}
-
-spatial::peer_id testbed::add(const spatial::box& filter) {
-  filters_.push_back(filter);
-  return overlay_->add_peer_and_settle(filter);
-}
-
-int testbed::converge(int max_rounds) {
-  const auto period = config_.dr.stabilize_period;
-  for (int round = 0; round < max_rounds; ++round) {
-    if (legal()) return round;
-    overlay_->advance(period);
-    overlay_->settle();
-  }
-  return legal() ? max_rounds : -1;
-}
-
-bool testbed::legal() const {
-  return overlay::checker(*overlay_).check().legal();
-}
-
-overlay::check_report testbed::report(bool check_containment) const {
-  return overlay::checker(*overlay_).check(check_containment);
-}
-
-testbed::accuracy testbed::publish_sweep(std::size_t count,
-                                         workload::event_family family) {
-  accuracy acc;
-  // One live-set snapshot per sweep gives O(1) publisher picks; the
-  // per-event accounting loops inside publish_and_drain are the
-  // allocation-free for_each_live path.
-  const auto live = overlay_->live_peers();
-  if (live.empty()) return acc;
-  acc.population = live.size();
-  for (std::size_t i = 0; i < count; ++i) {
-    const auto publisher = live[workload_rng_.index(live.size())];
-    if (!overlay_->alive(publisher)) continue;
-    const auto value = workload::make_event_point(
-        family, workload_rng_, config_.dr.workspace, filters_);
-    const auto r = overlay_->publish_and_drain(publisher, value);
-    ++acc.events;
-    acc.deliveries += r.delivered;
-    acc.interested += r.interested;
-    acc.false_positives += r.false_positives;
-    acc.false_negatives += r.false_negatives;
-    acc.messages += r.messages;
-    acc.hops_total += r.max_hops;
-    acc.max_hops = std::max(acc.max_hops, r.max_hops);
-  }
-  return acc;
+  engine::runner_config rc;
+  rc.workload.family = config_.family;
+  rc.workload.subs = config_.subs;
+  // The historical testbed clamped generated filters and events to the
+  // overlay workspace; keep that so seed-tuned experiments reproduce.
+  rc.workload.subs.workspace = config_.dr.workspace;
+  rc.workload.seed = config_.workload_seed;
+  runner_ = std::make_unique<engine::scenario_runner>(*backend_, rc);
 }
 
 }  // namespace drt::analysis

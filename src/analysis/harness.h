@@ -1,7 +1,11 @@
 // Shared experiment drivers: building overlays from workloads, running
 // them to a legitimate configuration, and sweeping publications for
-// accuracy accounting.  Used by the test suite and by every bench binary
-// so that experiments measure identical code paths.
+// accuracy accounting.  Since the engine redesign (DESIGN.md §6) the
+// testbed is a thin shim over engine::scenario_runner driving an
+// engine::drtree_backend — kept because a large body of tests and benches
+// speaks this vocabulary, and as the one-liner way to get a populated
+// DR-tree.  New experiment code should use the engine API directly
+// (declarative scenarios run on any backend).
 #ifndef DRT_ANALYSIS_HARNESS_H
 #define DRT_ANALYSIS_HARNESS_H
 
@@ -10,8 +14,9 @@
 #include <vector>
 
 #include "drtree/checker.h"
-#include "drtree/corruptor.h"
 #include "drtree/overlay.h"
+#include "engine/backends.h"
+#include "engine/runner.h"
 #include "workload/workload.h"
 
 namespace drt::analysis {
@@ -26,86 +31,58 @@ struct harness_config {
 };
 
 /// An overlay populated from a synthetic workload, with converge and
-/// accuracy helpers.
+/// accuracy helpers.  All behavior delegates to the scenario runner's
+/// primitives; the overlay accessor pierces the abstraction for
+/// white-box tests.
 class testbed {
  public:
   explicit testbed(harness_config config = {});
 
+  /// Aggregate accuracy/cost of one publish sweep (the engine's
+  /// sweep_stats under its historical name).
+  using accuracy = engine::sweep_stats;
+
   /// Add `n` peers with generated filters, settling after each join.
-  void populate(std::size_t n);
+  void populate(std::size_t n) { runner_->populate(n); }
 
   /// Add one peer with an explicit filter (settles the join traffic).
-  spatial::peer_id add(const spatial::box& filter);
+  spatial::peer_id add(const spatial::box& filter) {
+    return static_cast<spatial::peer_id>(runner_->add(filter));
+  }
 
   /// Run stabilization rounds (one timer period each) until the checker
   /// reports a legitimate configuration; returns the number of rounds, or
   /// -1 if `max_rounds` elapsed without convergence.
-  int converge(int max_rounds = 80);
+  int converge(int max_rounds = 80) { return runner_->converge(max_rounds); }
 
   /// True iff the current configuration is legitimate (Definition 3.2).
-  bool legal() const;
-  overlay::check_report report(bool check_containment = false) const;
+  bool legal() const { return backend_->legal(); }
+  overlay::check_report report(bool check_containment = false) const {
+    return overlay::checker(backend_->overlay()).check(check_containment);
+  }
 
   /// Publish `count` events of the given family from random live peers;
   /// aggregates accuracy and cost.
-  struct accuracy {
-    std::size_t events = 0;
-    std::size_t population = 0;  ///< live peers during the sweep
-    std::uint64_t deliveries = 0;
-    std::uint64_t interested = 0;
-    std::uint64_t false_positives = 0;
-    std::uint64_t false_negatives = 0;
-    std::uint64_t messages = 0;
-    std::uint64_t hops_total = 0;  ///< sum over events of the worst path
-    std::size_t max_hops = 0;
-    /// The paper's "false positive rate ... 2-3%": the probability that a
-    /// peer receives an event it is not interested in, i.e. FP count over
-    /// (events x population).
-    double fp_rate() const {
-      const auto denom = static_cast<double>(events) *
-                         static_cast<double>(population);
-      return denom == 0.0 ? 0.0
-                          : static_cast<double>(false_positives) / denom;
-    }
-    /// FP share of deliveries (routing-precision view).
-    double fp_per_delivery() const {
-      return deliveries == 0
-                 ? 0.0
-                 : static_cast<double>(false_positives) /
-                       static_cast<double>(deliveries);
-    }
-    double fn_rate() const {
-      return interested == 0
-                 ? 0.0
-                 : static_cast<double>(false_negatives) /
-                       static_cast<double>(interested);
-    }
-    double messages_per_event() const {
-      return events == 0 ? 0.0
-                         : static_cast<double>(messages) /
-                               static_cast<double>(events);
-    }
-    double mean_hops() const {
-      return events == 0 ? 0.0
-                         : static_cast<double>(hops_total) /
-                               static_cast<double>(events);
-    }
-  };
   accuracy publish_sweep(std::size_t count,
                          workload::event_family family =
-                             workload::event_family::uniform);
+                             workload::event_family::uniform) {
+    return runner_->publish_sweep(count, family);
+  }
 
-  overlay::dr_overlay& overlay() { return *overlay_; }
-  const overlay::dr_overlay& overlay() const { return *overlay_; }
-  util::rng& workload_rng() { return workload_rng_; }
-  const std::vector<spatial::box>& filters() const { return filters_; }
+  overlay::dr_overlay& overlay() { return backend_->overlay(); }
+  const overlay::dr_overlay& overlay() const { return backend_->overlay(); }
+  engine::drtree_backend& backend() { return *backend_; }
+  engine::scenario_runner& runner() { return *runner_; }
+  util::rng& workload_rng() { return runner_->rng(); }
+  const std::vector<spatial::box>& filters() const {
+    return runner_->filters();
+  }
   const harness_config& config() const { return config_; }
 
  private:
   harness_config config_;
-  std::unique_ptr<overlay::dr_overlay> overlay_;
-  util::rng workload_rng_;
-  std::vector<spatial::box> filters_;
+  std::unique_ptr<engine::drtree_backend> backend_;
+  std::unique_ptr<engine::scenario_runner> runner_;
 };
 
 }  // namespace drt::analysis

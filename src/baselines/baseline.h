@@ -31,14 +31,18 @@ struct dissemination {
   std::size_t max_hops = 0;            ///< longest delivery path
 };
 
-/// Structural properties of the built overlay.
+/// Structural properties of the built overlay.  An empty population has
+/// the defined shape of all-zero fields (see pubsub_baseline::build).
 struct overlay_shape {
+  std::size_t population = 0;  ///< subscriptions the overlay was built for
   std::size_t height = 0;      ///< longest root-to-leaf path (0 if flat)
   std::size_t max_degree = 0;  ///< highest per-peer neighbor count
   double avg_degree = 0.0;
   /// Total routing-state entries stored across peers (subscription
   /// replicas for the DHT, tree links otherwise).
   std::size_t routing_state = 0;
+
+  friend bool operator==(const overlay_shape&, const overlay_shape&) = default;
 };
 
 class pubsub_baseline {
@@ -46,7 +50,12 @@ class pubsub_baseline {
   virtual ~pubsub_baseline() = default;
 
   /// Build the overlay for a fixed subscription population; subscriber i
-  /// owns subscriptions[i].
+  /// owns subscriptions[i].  `build({})` is valid and must leave the
+  /// overlay empty: `shape()` then returns a value-initialized
+  /// overlay_shape (all zeros) rather than whatever stale or improvised
+  /// statistics a previous build left behind.  Publishing requires a
+  /// valid subscriber index, so it is a precondition violation on an
+  /// empty population.
   virtual void build(const std::vector<spatial::box>& subscriptions) = 0;
 
   /// Publish from subscriber `publisher` and report who received it.
@@ -55,6 +64,11 @@ class pubsub_baseline {
 
   virtual overlay_shape shape() const = 0;
   virtual std::string name() const = 0;
+
+  /// Messages the last build() spent installing subscription state (the
+  /// update-cost side of dynamic membership; nonzero only for the DHT,
+  /// where installation traffic is the §4 critique).
+  virtual std::uint64_t build_messages() const { return 0; }
 };
 
 /// Accuracy accounting shared by the comparison bench.

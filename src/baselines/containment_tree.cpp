@@ -84,6 +84,7 @@ dissemination containment_tree::publish(std::size_t publisher,
 
 overlay_shape containment_tree::shape() const {
   overlay_shape s;
+  s.population = subs_.size();
   s.max_degree = top_.size();  // the virtual root's fan-out
   std::size_t link_total = top_.size();
   for (std::size_t i = 0; i < subs_.size(); ++i) {

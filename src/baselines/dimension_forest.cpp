@@ -97,6 +97,7 @@ dissemination dimension_forest::publish(std::size_t publisher,
 
 overlay_shape dimension_forest::shape() const {
   overlay_shape s;
+  s.population = subs_.size();
   std::size_t link_total = 0;
   for (const auto& t : trees_) {
     s.max_degree = std::max(s.max_degree, t.top.size());

@@ -59,6 +59,7 @@ dissemination flooding::publish(std::size_t publisher,
 
 overlay_shape flooding::shape() const {
   overlay_shape s;
+  s.population = n_;
   std::size_t link_total = 0;
   for (const auto& nb : neighbors_) {
     s.max_degree = std::max(s.max_degree, nb.size());

@@ -119,7 +119,18 @@ std::size_t zcurve_dht::route(std::size_t from, std::uint64_t key) const {
 void zcurve_dht::build(const std::vector<spatial::box>& subscriptions) {
   subs_ = subscriptions;
   const std::size_t n = subs_.size();
-  DRT_EXPECT(n > 0);
+  if (n == 0) {
+    // Defined empty shape (baseline.h contract): no stale ring/replica
+    // state may survive from a previous build.
+    ring_.clear();
+    ring_peer_.clear();
+    peer_id_.clear();
+    fingers_.clear();
+    stored_.clear();
+    install_messages_ = 0;
+    replicas_ = 0;
+    return;
+  }
 
   // Ring identifiers.
   peer_id_.resize(n);
@@ -193,6 +204,7 @@ dissemination zcurve_dht::publish(std::size_t publisher,
 
 overlay_shape zcurve_dht::shape() const {
   overlay_shape s;
+  s.population = subs_.size();
   std::size_t link_total = 0;
   for (std::size_t i = 0; i < fingers_.size(); ++i) {
     s.max_degree = std::max(s.max_degree, fingers_[i].size());

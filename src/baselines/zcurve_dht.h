@@ -36,6 +36,7 @@ class zcurve_dht : public pubsub_baseline {
   /// Messages spent installing all subscriptions (the update-cost side of
   /// the 1-D mapping critique).
   std::uint64_t install_messages() const { return install_messages_; }
+  std::uint64_t build_messages() const override { return install_messages_; }
   /// Total (peer, subscription) replicas stored at rendezvous nodes.
   std::size_t replicas() const { return replicas_; }
 

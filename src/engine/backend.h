@@ -1,0 +1,136 @@
+// The unified experiment backend interface (DESIGN.md §6).
+//
+// The paper's claims are all *dynamic* — stabilization under churn,
+// crashes, and corruption — so every system under test is driven through
+// one dynamic-operations interface: subscribe, unsubscribe, crash,
+// publish, settle.  Adapters exist for the DR-tree overlay, the broker
+// façade, and the four static baselines of §3.1/§4 (which get honest
+// incremental-rebuild semantics: every membership change rebuilds the
+// structure from the surviving subscription set).
+//
+// Not every backend can do everything — a containment tree has no notion
+// of an uncontrolled crash, a flooding mesh never needs stabilization
+// rounds — so each backend declares a capability mask and the scenario
+// runner skips (and records as skipped) the phases a backend cannot
+// honestly execute.
+#ifndef DRT_ENGINE_BACKEND_H
+#define DRT_ENGINE_BACKEND_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spatial/types.h"
+
+namespace drt::engine {
+
+/// Identifies one live subscription inside a backend.  For the overlay
+/// backends this is the peer id; baselines allocate their own ids.
+using sub_id = std::uint64_t;
+inline constexpr sub_id kNoSub = static_cast<sub_id>(-1);
+
+/// What a backend can honestly do (see DESIGN.md §6).  `subscribe` and
+/// `publish` are unconditional: a pub/sub system that cannot do either is
+/// not a backend.
+enum capability : std::uint32_t {
+  cap_unsubscribe = 1u << 0,  ///< dynamic controlled departure
+  cap_crash       = 1u << 1,  ///< uncontrolled departure (silent)
+  cap_restart     = 1u << 2,  ///< revive a crashed sub with stale state
+  cap_corruption  = 1u << 3,  ///< transient memory-corruption faults
+  cap_stabilize   = 1u << 4,  ///< periodic repair rounds do real work
+};
+using capability_mask = std::uint32_t;
+
+/// Outcome of one publication, normalized across backends: accuracy is
+/// always counted against brute-force ground truth over the live
+/// subscription population.
+struct delivery_report {
+  std::size_t interested = 0;       ///< |{s live : filter_s ∋ e}|
+  std::size_t delivered = 0;        ///< distinct subscriptions reached
+  std::size_t false_positives = 0;  ///< delivered but not interested
+  std::size_t false_negatives = 0;  ///< interested but not delivered
+  std::uint64_t messages = 0;       ///< network messages spent
+  std::size_t max_hops = 0;         ///< longest delivery path
+};
+
+/// Structural snapshot of the backend, normalized across systems.
+struct backend_shape {
+  std::size_t population = 0;     ///< live subscriptions
+  std::size_t height = 0;         ///< longest root-to-leaf path (0 if flat)
+  std::size_t max_degree = 0;     ///< highest per-node neighbor/child count
+  double avg_degree = 0.0;
+  std::size_t routing_state = 0;  ///< total routing entries stored
+};
+
+/// Monotonic cost counters; the runner records per-phase deltas.
+struct backend_counters {
+  std::uint64_t messages = 0;  ///< network messages spent so far (total)
+  std::uint64_t rebuilds = 0;  ///< full structure rebuilds (baselines)
+};
+
+class backend {
+ public:
+  virtual ~backend() = default;
+
+  virtual std::string name() const = 0;
+  virtual capability_mask capabilities() const = 0;
+  bool can(capability c) const { return (capabilities() & c) != 0; }
+
+  // -------------------------------------------------------- membership
+  /// Register a filter; the subscription becomes live immediately (the
+  /// backend settles any join traffic before returning).
+  virtual sub_id subscribe(const spatial::box& filter) = 0;
+
+  /// Controlled departure.  Returns false when the id is unknown/dead or
+  /// the backend lacks cap_unsubscribe.
+  virtual bool unsubscribe(sub_id s) = 0;
+
+  /// Uncontrolled departure (cap_crash).  The subscription disappears
+  /// silently; repair is the stabilizer's job.
+  virtual bool crash(sub_id s) { (void)s; return false; }
+
+  /// Revive a crashed subscription with its stale state (cap_restart).
+  virtual bool restart(sub_id s) { (void)s; return false; }
+
+  /// Scramble protocol state at the given per-variable rate
+  /// (cap_corruption); returns the number of mutations performed.
+  virtual std::size_t corrupt(double rate, std::uint64_t seed) {
+    (void)rate; (void)seed; return 0;
+  }
+
+  // ------------------------------------------------------------ access
+  virtual bool alive(sub_id s) const = 0;
+
+  /// Live subscription ids in a stable, backend-deterministic order (the
+  /// runner picks publishers and victims by index into this list).
+  virtual std::vector<sub_id> active() const = 0;
+  virtual std::size_t population() const = 0;
+
+  /// The distinguished root subscription, when the structure has one
+  /// (kNoSub otherwise) — lets scenarios target "kill the root".
+  virtual sub_id root() const { return kNoSub; }
+
+  // ----------------------------------------------------- dissemination
+  /// Publish from `publisher` (must be alive) and drain the network.
+  virtual delivery_report publish(sub_id publisher,
+                                  const spatial::pt& value) = 0;
+
+  // --------------------------------------------------------- execution
+  /// Drain in-flight protocol work (no-op for structural baselines).
+  virtual void settle() {}
+
+  /// Advance one stabilization round (one timer period of virtual time,
+  /// then drain).  No-op without cap_stabilize.
+  virtual void step_round() {}
+
+  /// True iff the current configuration is legitimate.  Backends without
+  /// a legality notion are vacuously legal.
+  virtual bool legal() const { return true; }
+
+  virtual backend_shape shape() const = 0;
+  virtual backend_counters counters() const = 0;
+};
+
+}  // namespace drt::engine
+
+#endif  // DRT_ENGINE_BACKEND_H

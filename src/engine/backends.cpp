@@ -1,0 +1,311 @@
+#include "engine/backends.h"
+
+#include <algorithm>
+
+#include "baselines/containment_tree.h"
+#include "baselines/dimension_forest.h"
+#include "baselines/flooding.h"
+#include "baselines/zcurve_dht.h"
+#include "drtree/checker.h"
+#include "drtree/corruptor.h"
+#include "util/expect.h"
+
+namespace drt::engine {
+
+namespace {
+
+/// Both overlay-backed adapters report the checker's structural view so
+/// their shape rows are directly comparable with the baselines'.
+backend_shape shape_of_overlay(const overlay::dr_overlay& ov) {
+  const auto report = overlay::checker(ov).check();
+  backend_shape s;
+  s.population = report.live_peers;
+  s.height = report.height;
+  s.max_degree = report.max_interior_children;
+  s.avg_degree = report.avg_interior_children;
+  s.routing_state = report.memory_links;
+  return s;
+}
+
+std::size_t corrupt_overlay(overlay::dr_overlay& ov, double rate,
+                            std::uint64_t seed) {
+  overlay::corruptor vandal(ov, seed);
+  return vandal.corrupt(overlay::uniform_corruption(rate));
+}
+
+}  // namespace
+
+// ------------------------------------------------------- drtree_backend
+
+drtree_backend::drtree_backend(overlay_backend_config config)
+    : overlay_(std::make_unique<overlay::dr_overlay>(config.dr, config.net)) {}
+
+sub_id drtree_backend::subscribe(const spatial::box& filter) {
+  return overlay_->add_peer_and_settle(filter);
+}
+
+bool drtree_backend::unsubscribe(sub_id s) {
+  const auto p = static_cast<spatial::peer_id>(s);
+  if (!overlay_->alive(p)) return false;
+  overlay_->controlled_leave(p);
+  overlay_->settle();
+  return true;
+}
+
+bool drtree_backend::crash(sub_id s) {
+  const auto p = static_cast<spatial::peer_id>(s);
+  if (!overlay_->alive(p)) return false;
+  overlay_->crash(p);
+  return true;
+}
+
+bool drtree_backend::restart(sub_id s) {
+  const auto p = static_cast<spatial::peer_id>(s);
+  if (overlay_->alive(p)) return false;
+  overlay_->sim().restart(p);
+  return true;
+}
+
+std::size_t drtree_backend::corrupt(double rate, std::uint64_t seed) {
+  return corrupt_overlay(*overlay_, rate, seed);
+}
+
+bool drtree_backend::alive(sub_id s) const {
+  return overlay_->alive(static_cast<spatial::peer_id>(s));
+}
+
+std::vector<sub_id> drtree_backend::active() const {
+  std::vector<sub_id> out;
+  out.reserve(overlay_->live_count());
+  overlay_->for_each_live([&out](spatial::peer_id p) { out.push_back(p); });
+  return out;
+}
+
+sub_id drtree_backend::root() const {
+  const auto r = overlay_->current_root();
+  return r == spatial::kNoPeer ? kNoSub : static_cast<sub_id>(r);
+}
+
+delivery_report drtree_backend::publish(sub_id publisher,
+                                        const spatial::pt& value) {
+  const auto r =
+      overlay_->publish_and_drain(static_cast<spatial::peer_id>(publisher),
+                                  value);
+  delivery_report d;
+  d.interested = r.interested;
+  d.delivered = r.delivered;
+  d.false_positives = r.false_positives;
+  d.false_negatives = r.false_negatives;
+  d.messages = r.messages;
+  d.max_hops = r.max_hops;
+  return d;
+}
+
+void drtree_backend::step_round() {
+  overlay_->advance(overlay_->config().stabilize_period);
+  overlay_->settle();
+}
+
+bool drtree_backend::legal() const {
+  return overlay::checker(*overlay_).check().legal();
+}
+
+backend_shape drtree_backend::shape() const {
+  return shape_of_overlay(*overlay_);
+}
+
+backend_counters drtree_backend::counters() const {
+  return {overlay_->sim().metrics().messages_sent, 0};
+}
+
+// ------------------------------------------------------- broker_backend
+
+broker_backend::broker_backend(overlay_backend_config config) {
+  pubsub::broker_config bc;
+  bc.dr = config.dr;
+  bc.net = config.net;
+  broker_ = std::make_unique<pubsub::broker>(bc);
+}
+
+sub_id broker_backend::subscribe(const spatial::box& filter) {
+  const auto client = broker_->add_client();
+  const auto handle = broker_->subscribe(client, filter);
+  const auto s = static_cast<sub_id>(handle.peer);
+  handles_.emplace(s, handle);
+  return s;
+}
+
+bool broker_backend::unsubscribe(sub_id s) {
+  const auto it = handles_.find(s);
+  if (it == handles_.end()) return false;
+  // One client per subscription: retire the whole client, or clients_
+  // would accumulate forever under churn.
+  const bool ok = broker_->remove_client(it->second.client);
+  handles_.erase(it);
+  return ok;
+}
+
+bool broker_backend::crash(sub_id s) {
+  auto& ov = broker_->raw_overlay();
+  const auto p = static_cast<spatial::peer_id>(s);
+  if (!ov.alive(p)) return false;
+  ov.crash(p);
+  return true;
+}
+
+bool broker_backend::restart(sub_id s) {
+  auto& ov = broker_->raw_overlay();
+  const auto p = static_cast<spatial::peer_id>(s);
+  if (ov.alive(p)) return false;
+  ov.sim().restart(p);
+  return true;
+}
+
+std::size_t broker_backend::corrupt(double rate, std::uint64_t seed) {
+  return corrupt_overlay(broker_->raw_overlay(), rate, seed);
+}
+
+bool broker_backend::alive(sub_id s) const {
+  return broker_->raw_overlay().alive(static_cast<spatial::peer_id>(s));
+}
+
+std::vector<sub_id> broker_backend::active() const {
+  std::vector<sub_id> out;
+  out.reserve(broker_->raw_overlay().live_count());
+  broker_->raw_overlay().for_each_live(
+      [&out](spatial::peer_id p) { out.push_back(p); });
+  return out;
+}
+
+sub_id broker_backend::root() const {
+  const auto r = broker_->raw_overlay().current_root();
+  return r == spatial::kNoPeer ? kNoSub : static_cast<sub_id>(r);
+}
+
+delivery_report broker_backend::publish(sub_id publisher,
+                                        const spatial::pt& value) {
+  const auto it = handles_.find(publisher);
+  DRT_EXPECT(it != handles_.end());
+  const auto out = broker_->publish(it->second.client, value);
+  // One client per subscription, so client-level accounting *is*
+  // subscription-level accounting.
+  delivery_report d;
+  d.interested = out.matching_clients;
+  d.delivered = out.notified.size();
+  d.false_positives = out.client_false_positives;
+  d.false_negatives = out.client_false_negatives;
+  d.messages = out.messages;
+  d.max_hops = out.max_hops;
+  return d;
+}
+
+void broker_backend::step_round() {
+  auto& ov = broker_->raw_overlay();
+  ov.advance(ov.config().stabilize_period);
+  ov.settle();
+}
+
+backend_shape broker_backend::shape() const {
+  return shape_of_overlay(broker_->raw_overlay());
+}
+
+backend_counters broker_backend::counters() const {
+  return {broker_->raw_overlay().sim().metrics().messages_sent, 0};
+}
+
+// ----------------------------------------------------- baseline_backend
+
+baseline_backend::baseline_backend(
+    std::unique_ptr<baselines::pubsub_baseline> impl)
+    : impl_(std::move(impl)) {
+  DRT_EXPECT(impl_ != nullptr);
+  rebuild();  // defined empty shape from the start (baseline.h contract)
+}
+
+void baseline_backend::rebuild() {
+  impl_->build(filters_);
+  ++rebuilds_;
+  messages_ += impl_->build_messages();
+}
+
+std::size_t baseline_backend::index_of(sub_id s) const {
+  const auto it = std::find(ids_.begin(), ids_.end(), s);
+  return it == ids_.end() ? npos
+                          : static_cast<std::size_t>(it - ids_.begin());
+}
+
+sub_id baseline_backend::subscribe(const spatial::box& filter) {
+  const auto s = next_id_++;
+  ids_.push_back(s);
+  filters_.push_back(filter);
+  rebuild();
+  return s;
+}
+
+bool baseline_backend::unsubscribe(sub_id s) {
+  const auto i = index_of(s);
+  if (i == npos) return false;
+  ids_.erase(ids_.begin() + static_cast<std::ptrdiff_t>(i));
+  filters_.erase(filters_.begin() + static_cast<std::ptrdiff_t>(i));
+  rebuild();
+  return true;
+}
+
+bool baseline_backend::alive(sub_id s) const { return index_of(s) != npos; }
+
+delivery_report baseline_backend::publish(sub_id publisher,
+                                          const spatial::pt& value) {
+  const auto idx = index_of(publisher);
+  DRT_EXPECT(idx != npos);
+  const auto diss = impl_->publish(idx, value);
+  messages_ += diss.messages;
+
+  delivery_report d;
+  d.messages = diss.messages;
+  d.max_hops = diss.max_hops;
+  std::vector<bool> got(filters_.size(), false);
+  for (const auto r : diss.receivers) {
+    if (r < got.size()) got[r] = true;
+  }
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    const bool interested = filters_[i].contains(value);
+    if (interested) ++d.interested;
+    if (got[i]) ++d.delivered;
+    if (got[i] && !interested) ++d.false_positives;
+    if (!got[i] && interested) ++d.false_negatives;
+  }
+  return d;
+}
+
+backend_shape baseline_backend::shape() const {
+  const auto s = impl_->shape();
+  backend_shape out;
+  out.population = s.population;
+  out.height = s.height;
+  out.max_degree = s.max_degree;
+  out.avg_degree = s.avg_degree;
+  out.routing_state = s.routing_state;
+  return out;
+}
+
+// --------------------------------------------------------------- factory
+
+std::vector<std::unique_ptr<backend>> make_all_backends(
+    const overlay_backend_config& config, bool include_broker) {
+  std::vector<std::unique_ptr<backend>> out;
+  out.push_back(std::make_unique<drtree_backend>(config));
+  if (include_broker) {
+    out.push_back(std::make_unique<broker_backend>(config));
+  }
+  out.push_back(std::make_unique<baseline_backend>(
+      std::make_unique<baselines::containment_tree>()));
+  out.push_back(std::make_unique<baseline_backend>(
+      std::make_unique<baselines::dimension_forest>()));
+  out.push_back(std::make_unique<baseline_backend>(
+      std::make_unique<baselines::flooding>(4, 113)));
+  out.push_back(std::make_unique<baseline_backend>(
+      std::make_unique<baselines::zcurve_dht>(config.dr.workspace, 5, 127)));
+  return out;
+}
+
+}  // namespace drt::engine

@@ -1,0 +1,163 @@
+// Backend adapters (DESIGN.md §6): the DR-tree overlay, the broker
+// façade, and the four §3.1/§4 baselines behind the one
+// drt::engine::backend interface.
+//
+// The two overlay-backed adapters (drtree_backend, broker_backend) drive
+// the identical protocol stack through the identical operations, so a
+// churn-free scenario produces bit-identical metrics on either — the
+// engine determinism tests rely on this.  Baselines get honest
+// *incremental rebuild* semantics: they have no repair protocol, so every
+// membership change rebuilds the structure from the surviving
+// subscription set (counted in backend_counters::rebuilds); crashes,
+// restarts, and corruption are outside their capability mask.
+#ifndef DRT_ENGINE_BACKENDS_H
+#define DRT_ENGINE_BACKENDS_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "drtree/overlay.h"
+#include "engine/backend.h"
+#include "pubsub/broker.h"
+
+namespace drt::engine {
+
+/// Shared configuration for the overlay-backed adapters.
+struct overlay_backend_config {
+  overlay::dr_config dr{};
+  sim::simulator_config net{};
+};
+
+/// The system under study: the full DR-tree protocol stack, one overlay
+/// peer per subscription.
+class drtree_backend final : public backend {
+ public:
+  explicit drtree_backend(overlay_backend_config config = {});
+
+  std::string name() const override { return "drtree"; }
+  capability_mask capabilities() const override {
+    return cap_unsubscribe | cap_crash | cap_restart | cap_corruption |
+           cap_stabilize;
+  }
+
+  sub_id subscribe(const spatial::box& filter) override;
+  bool unsubscribe(sub_id s) override;
+  bool crash(sub_id s) override;
+  bool restart(sub_id s) override;
+  std::size_t corrupt(double rate, std::uint64_t seed) override;
+
+  bool alive(sub_id s) const override;
+  std::vector<sub_id> active() const override;
+  std::size_t population() const override { return overlay_->live_count(); }
+  sub_id root() const override;
+
+  delivery_report publish(sub_id publisher, const spatial::pt& value) override;
+
+  void settle() override { overlay_->settle(); }
+  void step_round() override;
+  bool legal() const override;
+  backend_shape shape() const override;
+  backend_counters counters() const override;
+
+  overlay::dr_overlay& overlay() { return *overlay_; }
+  const overlay::dr_overlay& overlay() const { return *overlay_; }
+
+ private:
+  std::unique_ptr<overlay::dr_overlay> overlay_;
+};
+
+/// The application façade: one broker client per engine subscription, so
+/// client-level accounting coincides with subscription-level accounting
+/// and the adapter stays metrics-compatible with drtree_backend.
+class broker_backend final : public backend {
+ public:
+  explicit broker_backend(overlay_backend_config config = {});
+
+  std::string name() const override { return "broker"; }
+  capability_mask capabilities() const override {
+    return cap_unsubscribe | cap_crash | cap_restart | cap_corruption |
+           cap_stabilize;
+  }
+
+  sub_id subscribe(const spatial::box& filter) override;
+  bool unsubscribe(sub_id s) override;
+  bool crash(sub_id s) override;
+  bool restart(sub_id s) override;
+  std::size_t corrupt(double rate, std::uint64_t seed) override;
+
+  bool alive(sub_id s) const override;
+  std::vector<sub_id> active() const override;
+  std::size_t population() const override {
+    return broker_->raw_overlay().live_count();
+  }
+  sub_id root() const override;
+
+  delivery_report publish(sub_id publisher, const spatial::pt& value) override;
+
+  void settle() override { broker_->raw_overlay().settle(); }
+  void step_round() override;
+  bool legal() const override { return broker_->overlay_legal(); }
+  backend_shape shape() const override;
+  backend_counters counters() const override;
+
+  pubsub::broker& broker() { return *broker_; }
+
+ private:
+  std::unique_ptr<pubsub::broker> broker_;
+  /// sub_id == the subscription's overlay peer id; the handle map lets
+  /// unsubscribe tear down through the broker API.
+  std::unordered_map<sub_id, pubsub::subscription_handle> handles_;
+};
+
+/// Adapter for the static baselines: membership changes rebuild the
+/// structure from the surviving subscription set, publications are scored
+/// against brute-force ground truth over that set.
+class baseline_backend final : public backend {
+ public:
+  explicit baseline_backend(std::unique_ptr<baselines::pubsub_baseline> impl);
+
+  std::string name() const override { return impl_->name(); }
+  capability_mask capabilities() const override { return cap_unsubscribe; }
+
+  sub_id subscribe(const spatial::box& filter) override;
+  bool unsubscribe(sub_id s) override;
+
+  bool alive(sub_id s) const override;
+  std::vector<sub_id> active() const override { return ids_; }
+  std::size_t population() const override { return ids_.size(); }
+
+  delivery_report publish(sub_id publisher, const spatial::pt& value) override;
+
+  backend_shape shape() const override;
+  backend_counters counters() const override {
+    return {messages_, rebuilds_};
+  }
+
+  baselines::pubsub_baseline& impl() { return *impl_; }
+
+ private:
+  void rebuild();
+  std::size_t index_of(sub_id s) const;  ///< npos when unknown
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::unique_ptr<baselines::pubsub_baseline> impl_;
+  std::vector<sub_id> ids_;              // insertion order
+  std::vector<spatial::box> filters_;    // parallel to ids_
+  sub_id next_id_ = 1;
+  std::uint64_t messages_ = 0;
+  std::uint64_t rebuilds_ = 0;
+};
+
+/// All five systems of experiment E14 behind the uniform interface: the
+/// DR-tree plus the four baselines (containment tree, dimension forest,
+/// flooding, Z-curve DHT).  `broker` adds the sixth, client-facing
+/// surface when requested.
+std::vector<std::unique_ptr<backend>> make_all_backends(
+    const overlay_backend_config& config, bool include_broker = false);
+
+}  // namespace drt::engine
+
+#endif  // DRT_ENGINE_BACKENDS_H

@@ -1,0 +1,87 @@
+#include "engine/metrics.h"
+
+namespace drt::engine {
+
+void metrics_recorder::add(phase_metrics m) {
+  m.index = phases_.size();
+  phases_.push_back(std::move(m));
+}
+
+const phase_metrics* metrics_recorder::last(const std::string& phase) const {
+  for (auto it = phases_.rbegin(); it != phases_.rend(); ++it) {
+    if (it->phase == phase) return &*it;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> metrics_recorder::headers() {
+  return {"backend",     "scenario",   "idx",        "phase",
+          "skipped",     "ramp",       "pop",        "joins",
+          "leaves",      "crashes",    "restarts",   "corruptions",
+          "rounds",      "legal",      "events",     "deliveries",
+          "interested",  "fp",         "fn",         "max_hops",
+          "messages",    "rebuilds",   "height",     "max_degree",
+          "avg_degree",  "routing_state"};
+}
+
+std::vector<std::string> metrics_recorder::row_cells(
+    const phase_metrics& m) const {
+  using util::table;
+  return {backend_,
+          scenario_,
+          table::cell(m.index),
+          m.phase,
+          m.skipped ? "yes" : "no",
+          m.ramp < 0 ? "-" : table::cell(m.ramp, 3),
+          table::cell(m.population),
+          table::cell(m.joins),
+          table::cell(m.leaves),
+          table::cell(m.crashes),
+          table::cell(m.restarts),
+          table::cell(m.corruptions),
+          table::cell(static_cast<std::int64_t>(m.rounds)),
+          m.legal < 0 ? "-" : (m.legal > 0 ? "yes" : "NO"),
+          table::cell(m.events),
+          table::cell(m.deliveries),
+          table::cell(m.interested),
+          table::cell(m.false_positives),
+          table::cell(m.false_negatives),
+          table::cell(m.max_hops),
+          table::cell(static_cast<std::size_t>(m.messages)),
+          table::cell(static_cast<std::size_t>(m.rebuilds)),
+          table::cell(m.height),
+          table::cell(m.max_degree),
+          table::cell(m.avg_degree, 2),
+          table::cell(m.routing_state)};
+}
+
+util::table metrics_recorder::to_table() const {
+  util::table out(headers());
+  append_rows(out);
+  return out;
+}
+
+void metrics_recorder::append_rows(util::table& out) const {
+  for (const auto& m : phases_) out.add_row(row_cells(m));
+}
+
+std::uint64_t metrics_recorder::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  auto mix = [&h](const std::string& s) {
+    for (const unsigned char c : s) {
+      h ^= c;
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0xff;  // cell separator
+    h *= 0x100000001b3ULL;
+  };
+  for (const auto& m : phases_) {
+    const auto cells = row_cells(m);
+    // Skip the backend/scenario identity columns so metric-identical
+    // runs on different backends hash identically.
+    for (std::size_t i = 2; i < cells.size(); ++i) mix(cells[i]);
+  }
+  return h;
+}
+
+}  // namespace drt::engine

@@ -1,0 +1,365 @@
+#include "engine/runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drt::engine {
+
+scenario_runner::scenario_runner(engine::backend& be, runner_config config)
+    : be_(be), config_(std::move(config)), rng_(config_.workload.seed) {}
+
+// ------------------------------------------------------ phase executors
+
+std::vector<sub_id> scenario_runner::do_populate(
+    phase_ctx ctx, std::size_t n, const std::vector<spatial::box>& explicit_f,
+    phase_metrics* out) {
+  std::vector<spatial::box> rects;
+  if (!explicit_f.empty()) {
+    rects = explicit_f;
+  } else {
+    auto params = ctx.profile.subs;
+    rects = workload::make_subscriptions(ctx.profile.family, n, ctx.rng,
+                                         params);
+  }
+  std::vector<sub_id> ids;
+  ids.reserve(rects.size());
+  for (const auto& r : rects) {
+    ctx.filters.push_back(r);
+    ids.push_back(be_.subscribe(r));
+  }
+  if (out != nullptr) out->joins += ids.size();
+  return ids;
+}
+
+sweep_stats scenario_runner::do_sweep(phase_ctx ctx, std::size_t count,
+                                      workload::event_family family,
+                                      phase_metrics* out) {
+  sweep_stats acc;
+  const auto live = be_.active();
+  if (!live.empty()) {
+    acc.population = live.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto publisher = live[ctx.rng.index(live.size())];
+      if (!be_.alive(publisher)) continue;
+      const auto value = workload::make_event_point(
+          family, ctx.rng, ctx.profile.subs.workspace, ctx.filters);
+      const auto r = be_.publish(publisher, value);
+      ++acc.events;
+      acc.deliveries += r.delivered;
+      acc.interested += r.interested;
+      acc.false_positives += r.false_positives;
+      acc.false_negatives += r.false_negatives;
+      acc.messages += r.messages;
+      acc.hops_total += r.max_hops;
+      acc.max_hops = std::max(acc.max_hops, r.max_hops);
+    }
+  }
+  if (out != nullptr) {
+    out->events += acc.events;
+    out->deliveries += acc.deliveries;
+    out->interested += acc.interested;
+    out->false_positives += acc.false_positives;
+    out->false_negatives += acc.false_negatives;
+    out->max_hops = std::max(out->max_hops,
+                             static_cast<std::size_t>(acc.max_hops));
+  }
+  return acc;
+}
+
+int scenario_runner::do_converge(int max_rounds, phase_metrics* out) {
+  int result = -1;
+  for (int round = 0; round <= max_rounds; ++round) {
+    if (be_.legal()) {
+      result = round;
+      break;
+    }
+    if (round == max_rounds) break;  // budget spent, still illegal
+    be_.step_round();
+    if (config_.on_converge_round) {
+      config_.on_converge_round(round, be_.legal());
+    }
+  }
+  if (out != nullptr) {
+    out->rounds = result;
+    out->legal = result >= 0 ? 1 : 0;
+  }
+  return result;
+}
+
+std::size_t scenario_runner::do_churn(phase_ctx ctx,
+                                      const churn_wave_phase& p,
+                                      phase_metrics* out) {
+  std::size_t done = 0;
+  for (std::size_t op = 0; op < p.ops; ++op) {
+    const bool want_join = ctx.rng.chance(p.join_fraction);
+    if (want_join || be_.population() < p.min_population) {
+      do_populate(ctx, 1, {}, out);
+    } else {
+      const auto live = be_.active();
+      if (live.empty()) continue;
+      const auto victim = live[ctx.rng.index(live.size())];
+      if (be_.unsubscribe(victim) && out != nullptr) ++out->leaves;
+    }
+    be_.settle();
+    ++done;
+  }
+  return done;
+}
+
+std::size_t scenario_runner::do_crash(phase_ctx ctx,
+                                      const crash_burst_phase& p,
+                                      phase_metrics* out) {
+  auto live = be_.active();
+  if (live.empty()) return 0;
+  std::size_t target =
+      p.count + static_cast<std::size_t>(p.fraction *
+                                         static_cast<double>(live.size()));
+  target = std::min(target, live.size());
+  if (target == 0) return 0;
+
+  ctx.rng.shuffle(live);
+  std::size_t crashed = 0;
+  if (p.include_root) {
+    const auto root = be_.root();
+    if (root != kNoSub && be_.crash(root)) {
+      ctx.crashed.push_back(root);
+      ++crashed;
+    }
+  }
+  for (const auto s : live) {
+    if (crashed >= target) break;
+    if (!be_.alive(s)) continue;
+    if (be_.crash(s)) {
+      ctx.crashed.push_back(s);
+      ++crashed;
+    }
+  }
+  be_.settle();
+  if (out != nullptr) out->crashes += crashed;
+  return crashed;
+}
+
+std::size_t scenario_runner::do_leave(phase_ctx ctx,
+                                      const controlled_leave_wave_phase& p,
+                                      phase_metrics* out) {
+  auto live = be_.active();
+  if (live.empty()) return 0;
+  std::size_t target =
+      p.count + static_cast<std::size_t>(p.fraction *
+                                         static_cast<double>(live.size()));
+  target = std::min(target, live.size());
+  ctx.rng.shuffle(live);
+  std::size_t left = 0;
+  for (const auto s : live) {
+    if (left >= target) break;
+    if (!be_.alive(s)) continue;
+    if (be_.unsubscribe(s)) {
+      be_.settle();
+      ++left;
+    }
+  }
+  if (out != nullptr) out->leaves += left;
+  return left;
+}
+
+std::size_t scenario_runner::do_restart(phase_ctx ctx, std::size_t count,
+                                        phase_metrics* out) {
+  std::size_t revived = 0;
+  while (revived < count && !ctx.crashed.empty()) {
+    const auto s = ctx.crashed.back();
+    ctx.crashed.pop_back();
+    if (be_.restart(s)) ++revived;
+  }
+  be_.settle();
+  if (out != nullptr) out->restarts += revived;
+  return revived;
+}
+
+std::size_t scenario_runner::do_corrupt(phase_ctx ctx, double rate,
+                                        phase_metrics* out) {
+  const auto mutations = be_.corrupt(rate, ctx.rng.next_u64());
+  if (out != nullptr) out->corruptions += mutations;
+  return mutations;
+}
+
+void scenario_runner::do_ramp(phase_ctx ctx, const param_ramp_phase& p,
+                              metrics_recorder& rec) {
+  for (std::size_t step = 0; step < p.steps; ++step) {
+    const double t =
+        p.steps <= 1 ? 0.0
+                     : static_cast<double>(step) /
+                           static_cast<double>(p.steps - 1);
+    const double value = p.from + (p.to - p.from) * t;
+
+    phase_metrics m;
+    m.phase = "param_ramp";
+    m.ramp = value;
+    const auto before = be_.counters();
+    switch (p.target) {
+      case ramp_target::churn_ops: {
+        churn_wave_phase w;
+        w.ops = static_cast<std::size_t>(std::llround(value));
+        do_churn(ctx, w, &m);
+        do_converge(p.converge_rounds, &m);
+        break;
+      }
+      case ramp_target::publish_count:
+        do_sweep(ctx, static_cast<std::size_t>(std::llround(value)),
+                 p.family, &m);
+        break;
+      case ramp_target::crash_fraction: {
+        crash_burst_phase c;
+        c.fraction = value;
+        if (be_.can(cap_crash)) {
+          do_crash(ctx, c, &m);
+          do_converge(p.converge_rounds, &m);
+        } else {
+          m.skipped = true;
+        }
+        break;
+      }
+    }
+    finish_row(m, before);
+    rec.add(std::move(m));
+  }
+}
+
+// ------------------------------------------------------------ execution
+
+void scenario_runner::finish_row(phase_metrics& m,
+                                 const backend_counters& before) {
+  const auto after = be_.counters();
+  m.messages = after.messages - before.messages;
+  m.rebuilds = after.rebuilds - before.rebuilds;
+  m.population = be_.population();
+}
+
+void scenario_runner::execute(phase_ctx ctx, const phase& p,
+                              metrics_recorder& rec) {
+  if (std::holds_alternative<param_ramp_phase>(p)) {
+    do_ramp(ctx, std::get<param_ramp_phase>(p), rec);
+    return;
+  }
+
+  phase_metrics m;
+  m.phase = phase_name(p);
+  const auto before = be_.counters();
+
+  if (const auto* pop = std::get_if<populate_phase>(&p)) {
+    do_populate(ctx, pop->count, pop->filters, &m);
+  } else if (const auto* sweep = std::get_if<publish_sweep_phase>(&p)) {
+    do_sweep(ctx, sweep->count, sweep->family, &m);
+  } else if (const auto* churn = std::get_if<churn_wave_phase>(&p)) {
+    if (be_.can(cap_unsubscribe)) {
+      do_churn(ctx, *churn, &m);
+    } else {
+      m.skipped = true;
+    }
+  } else if (const auto* crash = std::get_if<crash_burst_phase>(&p)) {
+    if (be_.can(cap_crash)) {
+      do_crash(ctx, *crash, &m);
+    } else {
+      m.skipped = true;
+    }
+  } else if (const auto* leave =
+                 std::get_if<controlled_leave_wave_phase>(&p)) {
+    if (be_.can(cap_unsubscribe)) {
+      do_leave(ctx, *leave, &m);
+    } else {
+      m.skipped = true;
+    }
+  } else if (const auto* restart = std::get_if<restart_burst_phase>(&p)) {
+    if (be_.can(cap_restart)) {
+      do_restart(ctx, restart->count, &m);
+    } else {
+      m.skipped = true;
+    }
+  } else if (const auto* corrupt = std::get_if<corruption_burst_phase>(&p)) {
+    if (be_.can(cap_corruption)) {
+      do_corrupt(ctx, corrupt->rate, &m);
+    } else {
+      m.skipped = true;
+    }
+  } else if (const auto* conv = std::get_if<converge_phase>(&p)) {
+    do_converge(conv->max_rounds, &m);
+  }
+
+  finish_row(m, before);
+  rec.add(std::move(m));
+}
+
+metrics_recorder scenario_runner::run(const scenario& sc) {
+  metrics_recorder rec(be_.name(), sc.name, sc.workload.seed);
+  // Fresh RNG and run-local filter/crash state per run: the same
+  // scenario + seed issues the identical operation sequence whatever ran
+  // before (and whatever the backend is — backends never consume this
+  // stream).
+  util::rng run_rng(sc.workload.seed);
+  std::vector<spatial::box> run_filters;
+  std::vector<sub_id> run_crashed;
+  phase_ctx ctx{sc.workload, run_rng, run_filters, run_crashed};
+  for (const auto& p : sc.timeline) execute(ctx, p, rec);
+
+  if (config_.final_shape_row) {
+    phase_metrics m;
+    m.phase = "shape";
+    const auto before = be_.counters();
+    const auto s = be_.shape();
+    m.height = s.height;
+    m.max_degree = s.max_degree;
+    m.avg_degree = s.avg_degree;
+    m.routing_state = s.routing_state;
+    m.legal = be_.legal() ? 1 : 0;
+    finish_row(m, before);
+    rec.add(std::move(m));
+  }
+  return rec;
+}
+
+// ------------------------------------------------------------ primitives
+
+std::vector<sub_id> scenario_runner::populate(std::size_t n) {
+  return do_populate(own_ctx(), n, {}, nullptr);
+}
+
+sub_id scenario_runner::add(const spatial::box& filter) {
+  filters_.push_back(filter);
+  return be_.subscribe(filter);
+}
+
+sweep_stats scenario_runner::publish_sweep(std::size_t count,
+                                           workload::event_family family) {
+  return do_sweep(own_ctx(), count, family, nullptr);
+}
+
+int scenario_runner::converge(int max_rounds) {
+  return do_converge(max_rounds, nullptr);
+}
+
+std::size_t scenario_runner::churn_wave(std::size_t ops, double join_fraction,
+                                        std::size_t min_population) {
+  return do_churn(own_ctx(),
+                  churn_wave_phase{ops, join_fraction, min_population},
+                  nullptr);
+}
+
+std::size_t scenario_runner::crash_burst(double fraction, std::size_t count,
+                                         bool include_root) {
+  return do_crash(own_ctx(),
+                  crash_burst_phase{fraction, count, include_root}, nullptr);
+}
+
+std::size_t scenario_runner::leave_wave(double fraction, std::size_t count) {
+  return do_leave(own_ctx(),
+                  controlled_leave_wave_phase{fraction, count}, nullptr);
+}
+
+std::size_t scenario_runner::restart_burst(std::size_t count) {
+  return do_restart(own_ctx(), count, nullptr);
+}
+
+std::size_t scenario_runner::corrupt(double rate) {
+  return do_corrupt(own_ctx(), rate, nullptr);
+}
+
+}  // namespace drt::engine

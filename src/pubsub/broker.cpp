@@ -44,17 +44,26 @@ bool broker::unsubscribe(const subscription_handle& handle) {
   return true;
 }
 
-bool broker::remove_client(client_id client) {
-  auto it = clients_.find(client);
-  if (it == clients_.end()) return false;
+std::size_t broker::unsubscribe_all(client_id client) {
+  const auto it = clients_.find(client);
+  if (it == clients_.end()) return 0;
+  std::size_t removed = 0;
   for (const auto p : it->second.peers) {
     if (overlay_.alive(p)) {
       overlay_.controlled_leave(p);
       overlay_.settle();
     }
     owner_of_.erase(p);
+    ++removed;
   }
-  clients_.erase(it);
+  it->second.peers.clear();
+  return removed;
+}
+
+bool broker::remove_client(client_id client) {
+  if (clients_.find(client) == clients_.end()) return false;
+  unsubscribe_all(client);
+  clients_.erase(client);
   return true;
 }
 
@@ -92,6 +101,7 @@ publish_outcome broker::publish(client_id publisher,
   publish_outcome out;
   out.event_id = r.event_id;
   out.messages = r.messages;
+  out.max_hops = r.max_hops;
 
   // Client-level aggregation: notified once per client, exact matching
   // against the client's own filters.

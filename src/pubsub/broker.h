@@ -52,6 +52,7 @@ struct publish_outcome {
   std::size_t client_false_positives = 0;  ///< notified, nothing matched
   std::size_t client_false_negatives = 0;  ///< matched, not notified
   std::uint64_t messages = 0;
+  std::size_t max_hops = 0;            ///< longest delivery path
 };
 
 class broker {
@@ -72,6 +73,12 @@ class broker {
   /// Controlled departure of one subscription (Fig. 9).  Returns false if
   /// the handle is unknown or already removed.
   bool unsubscribe(const subscription_handle& handle);
+
+  /// Tear down every subscription of `client` (each a controlled
+  /// departure) without deregistering the client, so callers need not
+  /// track handles themselves.  Returns the number removed (0 when the
+  /// client is unknown or had none).
+  std::size_t unsubscribe_all(client_id client);
 
   /// Remove a client entirely: every subscription departs (controlled),
   /// future publishes from it are rejected.  Returns false if unknown.
@@ -114,5 +121,22 @@ class broker {
 };
 
 }  // namespace drt::pubsub
+
+/// Handles are value types meant for client-side bookkeeping; hashing
+/// lets applications keep them in unordered containers directly.
+template <>
+struct std::hash<drt::pubsub::subscription_handle> {
+  std::size_t operator()(const drt::pubsub::subscription_handle& h) const
+      noexcept {
+    // splitmix64 finalizer over the (client, peer) pair: cheap and well
+    // mixed even though both ids are small sequential integers.
+    std::uint64_t x = (static_cast<std::uint64_t>(h.client) << 32) ^
+                      static_cast<std::uint64_t>(h.peer);
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
 
 #endif  // DRT_PUBSUB_BROKER_H

@@ -211,6 +211,44 @@ TEST(ZcurveDht, CellOfMapsWorkspaceCorners) {
   EXPECT_EQ(dht.cell_of({{-5, 2000}}), zcurve_dht::morton(0, 31));
 }
 
+// ------------------------------------------------------ empty overlays
+
+TEST(EmptyBuild, EveryBaselineReportsTheDefinedZeroShape) {
+  // Regression for the silent-zero-stats bug: build({}) must be valid on
+  // every baseline and leave a *defined* shape — value-initialized
+  // overlay_shape — even right after a non-empty build (no stale ring,
+  // replica, or tree state may leak through).
+  const auto subs = sample_filters();
+  containment_tree ct;
+  dimension_forest df;
+  flooding fl(4, 101);
+  zcurve_dht dht(kWs, 5, 103);
+  pubsub_baseline* all[] = {&ct, &df, &fl, &dht};
+  for (auto* b : all) {
+    b->build({});
+    EXPECT_EQ(b->shape(), overlay_shape{}) << b->name() << " (fresh)";
+    EXPECT_EQ(b->build_messages(), 0u) << b->name();
+
+    b->build(subs);
+    EXPECT_GT(b->shape().population, 0u) << b->name();
+
+    b->build({});
+    EXPECT_EQ(b->shape(), overlay_shape{}) << b->name() << " (rebuilt)";
+    EXPECT_EQ(b->build_messages(), 0u) << b->name();
+  }
+}
+
+TEST(EmptyBuild, ShapeReportsPopulation) {
+  const auto subs = sample_filters();
+  containment_tree ct;
+  ct.build(subs);
+  EXPECT_EQ(ct.shape().population, subs.size());
+  zcurve_dht dht(kWs, 5, 107);
+  dht.build(subs);
+  EXPECT_EQ(dht.shape().population, subs.size());
+  EXPECT_GT(dht.build_messages(), 0u);  // installs cost messages
+}
+
 // ---------------------------------------------------------- comparative
 
 TEST(Baselines, AccuracyOrderingMatchesThePaper) {

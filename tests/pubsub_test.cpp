@@ -1,8 +1,10 @@
 // Broker façade tests: multi-subscription clients, unsubscribe, delivery
-// callbacks, client-level accuracy.
+// callbacks, client-level accuracy, handle hashing, and whole-client
+// teardown.
 #include <gtest/gtest.h>
 
 #include <set>
+#include <unordered_set>
 
 #include "pubsub/broker.h"
 #include "workload/workload.h"
@@ -170,6 +172,83 @@ TEST(Broker, SurvivesChurnOfSubscriptions) {
   ASSERT_GE(b.stabilize(200), 0);
   EXPECT_TRUE(b.overlay_legal());
   EXPECT_EQ(b.subscriptions_of(alice).size(), 30u);
+}
+
+TEST(Broker, HandlesHashIntoUnorderedContainers) {
+  broker b(small_config(53));
+  const auto alice = b.add_client();
+  const auto bob = b.add_client();
+  std::unordered_set<subscription_handle> handles;
+  handles.insert(b.subscribe(alice, make_rect2(0, 0, 10, 10)));
+  handles.insert(b.subscribe(alice, make_rect2(5, 5, 20, 20)));
+  handles.insert(b.subscribe(bob, make_rect2(0, 0, 10, 10)));
+  EXPECT_EQ(handles.size(), 3u);  // distinct peers => distinct handles
+
+  // Re-inserting an existing handle is a no-op; lookup round-trips.
+  const auto h = *handles.begin();
+  handles.insert(h);
+  EXPECT_EQ(handles.size(), 3u);
+  EXPECT_TRUE(handles.count(h));
+  // Different (client, peer) pairs hash to different buckets in practice
+  // (splitmix64 finalizer): equality is what matters, but a degenerate
+  // all-collide hash would make the container useless.
+  const std::size_t h1 = std::hash<subscription_handle>{}(
+      subscription_handle{1, 1});
+  const std::size_t h2 = std::hash<subscription_handle>{}(
+      subscription_handle{1, 2});
+  const std::size_t h3 = std::hash<subscription_handle>{}(
+      subscription_handle{2, 1});
+  EXPECT_NE(h1, h2);
+  EXPECT_NE(h1, h3);
+}
+
+TEST(Broker, UnsubscribeAllTearsDownWithoutHandles) {
+  broker b(small_config(59));
+  const auto alice = b.add_client();
+  const auto bob = b.add_client();
+  b.subscribe(alice, make_rect2(0, 0, 50, 50));
+  b.subscribe(alice, make_rect2(20, 20, 80, 80));
+  b.subscribe(alice, make_rect2(40, 0, 90, 30));
+  b.subscribe(bob, make_rect2(0, 0, 100, 100));
+  ASSERT_GE(b.stabilize(), 0);
+
+  EXPECT_EQ(b.unsubscribe_all(alice), 3u);
+  EXPECT_TRUE(b.subscriptions_of(alice).empty());
+  EXPECT_EQ(b.unsubscribe_all(alice), 0u);    // idempotent
+  EXPECT_EQ(b.unsubscribe_all(999), 0u);      // unknown client
+  ASSERT_GE(b.stabilize(200), 0);
+  EXPECT_TRUE(b.overlay_legal());
+
+  // The client is still registered: it can publish and re-subscribe.
+  const auto out = b.publish(alice, {{30, 30}});
+  EXPECT_EQ(out.matching_clients, 1u);  // only bob matches now
+  EXPECT_EQ(out.client_false_negatives, 0u);
+  b.subscribe(alice, make_rect2(0, 0, 60, 60));
+  ASSERT_GE(b.stabilize(200), 0);
+  EXPECT_EQ(b.subscriptions_of(alice).size(), 1u);
+}
+
+TEST(Broker, PublishReportsMaxHops) {
+  broker b(small_config(61));
+  const auto alice = b.add_client();
+  util::rng rng(67);
+  workload::subscription_params params;
+  params.workspace = b.raw_overlay().config().workspace;
+  const auto rects = workload::make_subscriptions(
+      workload::subscription_family::uniform, 24, rng, params);
+  for (const auto& r : rects) b.subscribe(alice, r);
+  ASSERT_GE(b.stabilize(), 0);
+
+  std::size_t worst = 0;
+  for (int e = 0; e < 50; ++e) {
+    const auto value = workload::make_event_point(
+        workload::event_family::matching, rng, params.workspace, rects);
+    worst = std::max(worst, b.publish(alice, value).max_hops);
+  }
+  // Dissemination paths exist and are bounded by the overlay's hop
+  // budget (they run root-to-leaf in a balanced tree).
+  EXPECT_GT(worst, 0u);
+  EXPECT_LE(worst, b.raw_overlay().config().max_route_hops);
 }
 
 TEST(Broker, RemoveClientDropsAllSubscriptions) {

@@ -1,20 +1,46 @@
-// Fuzz/soak suites: long randomized interleavings of joins, controlled
-// leaves, crashes, restarts, memory corruption, and publications, with
-// the legality checker as the oracle.  These are the property-based
-// counterpart of the per-module tests: whatever the adversary schedule,
-// the overlay must (a) always re-converge to a legitimate configuration
-// and (b) never produce a false negative while legitimate.
+// Fuzz/soak suites on the engine API: long randomized interleavings of
+// joins, controlled leaves, crashes, restarts, memory corruption, and
+// publications, with the legality checker as the oracle.  These are the
+// property-based counterpart of the per-module tests: whatever the
+// adversary schedule, the overlay must (a) always re-converge to a
+// legitimate configuration and (b) never produce a false negative while
+// legitimate.
+//
+// Two styles, both over engine::drtree_backend + scenario_runner:
+//  * declarative — epochs of churn_wave/converge/publish_sweep phases
+//    built with the scenario builder, judged from the recorder rows;
+//  * adversarial — a dice-driven interleaving using the runner
+//    primitives and raw backend operations (the schedule depends on the
+//    evolving population, which a static timeline cannot express).
 #include <gtest/gtest.h>
 
-#include "analysis/harness.h"
+#include <memory>
+
 #include "drtree/checker.h"
 #include "drtree/corruptor.h"
+#include "engine/backends.h"
+#include "engine/runner.h"
+#include "engine/scenario.h"
 
-namespace drt::overlay {
+namespace drt::engine {
 namespace {
 
-using analysis::harness_config;
-using analysis::testbed;
+struct rig {
+  explicit rig(std::uint64_t net_seed, std::uint64_t workload_seed,
+               double loss = 0.0) {
+    overlay_backend_config bc;
+    bc.net.seed = net_seed;
+    bc.net.message_loss = loss;
+    backend = std::make_unique<drtree_backend>(bc);
+    runner_config rc;
+    rc.workload.seed = workload_seed;
+    runner = std::make_unique<scenario_runner>(*backend, rc);
+  }
+  overlay::dr_overlay& overlay() { return backend->overlay(); }
+
+  std::unique_ptr<drtree_backend> backend;
+  std::unique_ptr<scenario_runner> runner;
+};
 
 struct fuzz_params {
   std::uint64_t seed;
@@ -28,65 +54,59 @@ class FuzzTest : public ::testing::TestWithParam<fuzz_params> {};
 
 TEST_P(FuzzTest, AdversarialScheduleAlwaysReconverges) {
   const auto param = GetParam();
-  harness_config hc;
-  hc.net.seed = param.seed;
-  hc.workload_seed = param.seed * 31 + 7;
-  testbed tb(hc);
-  tb.populate(param.initial_peers);
-  ASSERT_GE(tb.converge(), 0);
+  rig r(param.seed, param.seed * 31 + 7);
+  auto& be = *r.backend;
+  auto& runner = *r.runner;
+  runner.populate(param.initial_peers);
+  ASSERT_GE(runner.converge(80), 0);
 
-  corruptor vandal(tb.overlay(), param.seed * 13 + 1);
-  auto& rng = tb.workload_rng();
-  std::vector<spatial::peer_id> crashed;
+  auto& rng = runner.rng();
+  std::vector<sub_id> crashed;
 
   for (int op = 0; op < param.operations; ++op) {
-    const auto live = tb.overlay().live_peers();
+    const auto live = be.active();
     const double dice = rng.next_double();
     if (dice < 0.30 || live.size() < 8) {
-      tb.populate(1);
+      runner.populate(1);
     } else if (dice < 0.45) {
-      tb.overlay().controlled_leave(live[rng.index(live.size())]);
+      be.unsubscribe(live[rng.index(live.size())]);
     } else if (dice < 0.60) {
       const auto victim = live[rng.index(live.size())];
-      tb.overlay().crash(victim);
+      be.crash(victim);
       crashed.push_back(victim);
     } else if (dice < 0.70 && !crashed.empty()) {
       const auto back = crashed.back();
       crashed.pop_back();
-      tb.overlay().sim().restart(back);  // stale state returns
+      be.restart(back);  // stale state returns
     } else if (dice < 0.80) {
-      corruption_config cfg;
-      cfg.parent_rate = param.corruption_rate;
-      cfg.children_rate = param.corruption_rate;
-      cfg.mbr_rate = param.corruption_rate;
-      cfg.flag_rate = param.corruption_rate;
-      vandal.corrupt(cfg);
+      be.corrupt(param.corruption_rate, param.seed * 13 + 1 + op);
     } else {
       // Publications interleave with the damage; they may be lossy while
       // the structure is broken (that is expected), but must not wedge
       // the overlay.
       if (!live.empty()) {
         const auto publisher = live[rng.index(live.size())];
-        if (tb.overlay().alive(publisher)) {
-          tb.overlay().publish_and_drain(publisher, {
-              {rng.uniform_real(0, 1000), rng.uniform_real(0, 1000)}});
+        if (be.alive(publisher)) {
+          be.publish(publisher, {{rng.uniform_real(0, 1000),
+                                  rng.uniform_real(0, 1000)}});
         }
       }
     }
     // Let a little time pass between operations.
-    tb.overlay().advance(tb.config().dr.stabilize_period / 4);
-    tb.overlay().settle(2000000);
+    r.overlay().advance(r.overlay().config().stabilize_period / 4);
+    r.overlay().settle(2000000);
   }
 
-  const int rounds = tb.converge(400);
+  const int rounds = runner.converge(400);
   ASSERT_GE(rounds, 0) << "fuzz schedule " << param.name
                        << " never re-converged";
-  const auto report = tb.report();
+  const auto report = overlay::checker(r.overlay()).check();
   EXPECT_TRUE(report.legal());
   EXPECT_EQ(report.reachable, report.live_peers);
 
   // In the legitimate configuration, accuracy is restored.
-  const auto acc = tb.publish_sweep(60, workload::event_family::matching);
+  const auto acc =
+      runner.publish_sweep(60, workload::event_family::matching);
   EXPECT_EQ(acc.false_negatives, 0u);
 }
 
@@ -100,58 +120,60 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto& info) { return std::string(info.param.name); });
 
 TEST(Soak, SustainedChurnWithPeriodicAccuracyChecks) {
-  harness_config hc;
-  hc.net.seed = 777;
-  testbed tb(hc);
-  tb.populate(40);
-  ASSERT_GE(tb.converge(), 0);
+  // The declarative version: eight epochs of churn + converge + sweep as
+  // one scenario, judged entirely from the recorder.
+  rig r(777, 7);
+  const auto sc = scenario::make("sustained_churn")
+                      .seed(777)
+                      .populate(40)
+                      .converge()
+                      .repeat(8,
+                              [](scenario::builder& b) {
+                                b.churn_wave(6, 0.5, 20)
+                                    .converge(300)
+                                    .publish_sweep(
+                                        40,
+                                        workload::event_family::matching);
+                              })
+                      .build();
+  const auto rec = r.runner->run(sc);
 
-  auto& rng = tb.workload_rng();
-  for (int epoch = 0; epoch < 8; ++epoch) {
-    // Churn burst: a few joins and departures.
-    for (int i = 0; i < 6; ++i) {
-      const auto live = tb.overlay().live_peers();
-      if (rng.chance(0.5) || live.size() < 20) {
-        tb.populate(1);
-      } else if (rng.chance(0.5)) {
-        tb.overlay().controlled_leave(live[rng.index(live.size())]);
-      } else {
-        tb.overlay().crash(live[rng.index(live.size())]);
-      }
-      tb.overlay().settle();
+  int epoch = 0;
+  for (const auto& m : rec.phases()) {
+    if (m.phase == "converge_until_legal") {
+      ASSERT_GE(m.rounds, 0) << "epoch " << epoch;
+      EXPECT_EQ(m.legal, 1) << "epoch " << epoch;
     }
-    // The overlay must recover within a bounded number of rounds...
-    ASSERT_GE(tb.converge(300), 0) << "epoch " << epoch;
-    // ...and deliver exactly while stable.
-    const auto acc = tb.publish_sweep(40, workload::event_family::matching);
-    EXPECT_EQ(acc.false_negatives, 0u) << "epoch " << epoch;
-    EXPECT_LT(acc.fp_rate(), 0.15) << "epoch " << epoch;
+    if (m.phase == "publish_sweep") {
+      ++epoch;
+      EXPECT_EQ(m.false_negatives, 0u) << "epoch " << epoch;
+      ASSERT_GT(m.events, 0u);
+      // ...and deliver exactly while stable.
+      EXPECT_LT(m.fp_rate(), 0.15) << "epoch " << epoch;
+    }
   }
+  EXPECT_EQ(epoch, 8);
 }
 
 TEST(Soak, MessageLossyNetworkStillConverges) {
-  harness_config hc;
-  hc.net.seed = 888;
-  hc.net.message_loss = 0.10;
-  testbed tb(hc);
-  tb.populate(30);
-  ASSERT_GE(tb.converge(300), 0);
-
-  // Lossy churn.
-  auto& rng = tb.workload_rng();
-  for (int i = 0; i < 20; ++i) {
-    const auto live = tb.overlay().live_peers();
-    if (rng.chance(0.5) || live.size() < 15) {
-      tb.populate(1);
-    } else {
-      tb.overlay().crash(live[rng.index(live.size())]);
-    }
-    tb.overlay().advance(tb.config().dr.stabilize_period / 2);
-    tb.overlay().settle();
-  }
-  ASSERT_GE(tb.converge(400), 0);
-  EXPECT_TRUE(tb.legal());
+  rig r(888, 7, /*loss=*/0.10);
+  const auto sc = scenario::make("lossy_churn")
+                      .seed(888)
+                      .populate(30)
+                      .converge(300)
+                      .repeat(5,
+                              [](scenario::builder& b) {
+                                b.churn_wave(3, 0.6, 15).crash_burst(0.08);
+                              })
+                      .converge(400)
+                      .build();
+  const auto rec = r.runner->run(sc);
+  const auto* heal = rec.last("converge_until_legal");
+  ASSERT_NE(heal, nullptr);
+  ASSERT_GE(heal->rounds, 0) << "lossy churn never re-converged";
+  EXPECT_EQ(heal->legal, 1);
+  EXPECT_TRUE(r.backend->legal());
 }
 
 }  // namespace
-}  // namespace drt::overlay
+}  // namespace drt::engine

@@ -1,33 +1,62 @@
-// Stabilization-module ablation: each CHECK_* module of Figs. 10-14 is
-// *necessary* — with the module disabled, the fault class it repairs
-// persists forever; with it enabled, the same fault converges.  Also
-// covers the efficient-leave handoff variant and peer restart with stale
-// state (the transient-fault model of §2.1).
+// Stabilization-module ablation on the engine API: each CHECK_* module
+// of Figs. 10-14 is *necessary* — with the module disabled, the fault
+// class it repairs persists forever; with it enabled, the same fault
+// converges.  Also covers the efficient-leave handoff variant and peer
+// restart with stale state (the transient-fault model of §2.1).
+//
+// The populated, converged overlays come from engine::scenario_runner
+// over a drtree_backend; the targeted faults are staged white-box
+// through the backend's overlay accessor.
 #include <gtest/gtest.h>
 
-#include "analysis/harness.h"
+#include <memory>
+
 #include "drtree/checker.h"
 #include "drtree/corruptor.h"
+#include "engine/backends.h"
+#include "engine/runner.h"
+#include "engine/scenario.h"
 
 namespace drt::overlay {
 namespace {
 
-using analysis::harness_config;
-using analysis::testbed;
+using engine::drtree_backend;
+using engine::scenario_runner;
 using spatial::kNoPeer;
 using spatial::peer_id;
 
-harness_config config_with(stabilizer_switches sw, std::uint64_t seed) {
-  harness_config hc;
-  hc.net.seed = seed;
-  hc.dr.stabilizers = sw;
-  return hc;
+/// A populated DR-tree behind the engine interface, with white-box
+/// access for fault staging.
+struct rig {
+  explicit rig(engine::overlay_backend_config config)
+      : backend(std::make_unique<drtree_backend>(config)),
+        runner(std::make_unique<scenario_runner>(*backend)) {}
+
+  void populate(std::size_t n) { runner->populate(n); }
+  peer_id add(const spatial::box& filter) {
+    return static_cast<peer_id>(runner->add(filter));
+  }
+  int converge(int max_rounds = 80) { return runner->converge(max_rounds); }
+  bool legal() const { return backend->legal(); }
+  dr_overlay& overlay() { return backend->overlay(); }
+  util::rng& rng() { return runner->rng(); }
+
+  std::unique_ptr<drtree_backend> backend;
+  std::unique_ptr<scenario_runner> runner;
+};
+
+engine::overlay_backend_config config_with(stabilizer_switches sw,
+                                           std::uint64_t seed) {
+  engine::overlay_backend_config bc;
+  bc.net.seed = seed;
+  bc.dr.stabilizers = sw;
+  return bc;
 }
 
-peer_id interior_non_root(testbed& tb) {
-  const auto root = tb.overlay().current_root();
-  for (const auto p : tb.overlay().live_peers()) {
-    if (p != root && tb.overlay().peer(p).top() > 0) return p;
+peer_id interior_non_root(rig& r) {
+  const auto root = r.overlay().current_root();
+  for (const auto p : r.overlay().live_peers()) {
+    if (p != root && r.overlay().peer(p).top() > 0) return p;
   }
   return kNoPeer;
 }
@@ -38,23 +67,23 @@ TEST(StabilizerAblation, CheckMbrIsNecessary) {
   // corrupted LEAF MBR — only "if Is_Leaf(p,l): mbr <- filter" fixes it.
   auto sw = stabilizer_switches{};
   sw.check_mbr = false;
-  testbed tb(config_with(sw, 3));
-  tb.populate(30);
-  ASSERT_GE(tb.converge(), 0);
+  rig r(config_with(sw, 3));
+  r.populate(30);
+  ASSERT_GE(r.converge(), 0);
 
-  corruptor c(tb.overlay(), 7);
-  const auto victim = tb.overlay().live_peers()[5];
+  corruptor c(r.overlay(), 7);
+  const auto victim = r.overlay().live_peers()[5];
   c.scramble_mbr(victim, 0);  // leaf MBR != filter
-  if (tb.overlay().peer(victim).inst(0).mbr ==
-      tb.overlay().peer(victim).filter()) {
+  if (r.overlay().peer(victim).inst(0).mbr ==
+      r.overlay().peer(victim).filter()) {
     c.scramble_mbr(victim, 0);  // astronomically unlikely collision
   }
-  ASSERT_FALSE(tb.legal());
-  EXPECT_EQ(tb.converge(40), -1)
+  ASSERT_FALSE(r.legal());
+  EXPECT_EQ(r.converge(40), -1)
       << "leaf MBR corruption repaired with CHECK_MBR disabled?";
 
   // Control: the full stabilizer fixes the same fault class.
-  testbed control(config_with(stabilizer_switches{}, 3));
+  rig control(config_with(stabilizer_switches{}, 3));
   control.populate(30);
   ASSERT_GE(control.converge(), 0);
   corruptor c2(control.overlay(), 7);
@@ -73,17 +102,17 @@ TEST(StabilizerAblation, CheckParentIsNecessary) {
   // CHECK_CHILDREN, and only "if p not in C(parent): rejoin" recovers it.
   auto sw = stabilizer_switches{};
   sw.check_parent = false;
-  testbed tb(config_with(sw, 5));
-  tb.populate(30);
-  ASSERT_GE(tb.converge(), 0);
+  rig r(config_with(sw, 5));
+  r.populate(30);
+  ASSERT_GE(r.converge(), 0);
 
-  const auto victim = interior_non_root(tb);
+  const auto victim = interior_non_root(r);
   ASSERT_NE(victim, kNoPeer);
-  auto& victim_peer = tb.overlay().peer(victim);
+  auto& victim_peer = r.overlay().peer(victim);
   auto& ins = victim_peer.inst(victim_peer.top());
   // Pick a live impostor that is neither the victim nor its real parent.
   spatial::peer_id impostor = kNoPeer;
-  for (const auto p : tb.overlay().live_peers()) {
+  for (const auto p : r.overlay().live_peers()) {
     if (p != victim && p != ins.parent) {
       impostor = p;
       break;
@@ -91,12 +120,12 @@ TEST(StabilizerAblation, CheckParentIsNecessary) {
   }
   ASSERT_NE(impostor, kNoPeer);
   ins.parent = impostor;
-  ASSERT_FALSE(tb.legal());
-  EXPECT_EQ(tb.converge(40), -1)
+  ASSERT_FALSE(r.legal());
+  EXPECT_EQ(r.converge(40), -1)
       << "orphan rejoined with CHECK_PARENT disabled?";
 
   // Control: with CHECK_PARENT enabled the identical fault heals.
-  testbed control(config_with(stabilizer_switches{}, 5));
+  rig control(config_with(stabilizer_switches{}, 5));
   control.populate(30);
   ASSERT_GE(control.converge(), 0);
   const auto victim2 = interior_non_root(control);
@@ -118,40 +147,40 @@ TEST(StabilizerAblation, CheckParentIsNecessary) {
 TEST(StabilizerAblation, CheckChildrenIsNecessary) {
   auto sw = stabilizer_switches{};
   sw.check_children = false;
-  testbed tb(config_with(sw, 7));
-  tb.populate(30);
-  ASSERT_GE(tb.converge(), 0);
+  rig r(config_with(sw, 7));
+  r.populate(30);
+  ASSERT_GE(r.converge(), 0);
 
   // Adopt a stranger: the stranger's parent pointer does not change, so
   // only CHECK_CHILDREN ("simply discards the child") can repair it.
-  const auto root = tb.overlay().current_root();
-  const auto victim = interior_non_root(tb);
+  const auto root = r.overlay().current_root();
+  const auto victim = interior_non_root(r);
   ASSERT_NE(victim, kNoPeer);
-  auto& victim_peer = tb.overlay().peer(victim);
+  auto& victim_peer = r.overlay().peer(victim);
   auto& ins = victim_peer.inst(victim_peer.top());
   ins.add_child(root);  // the root is never a legitimate child here
-  ASSERT_FALSE(tb.legal());
-  EXPECT_EQ(tb.converge(40), -1)
+  ASSERT_FALSE(r.legal());
+  EXPECT_EQ(r.converge(40), -1)
       << "stranger child discarded with CHECK_CHILDREN disabled?";
 }
 
 TEST(StabilizerAblation, CheckStructureIsNecessary) {
   auto sw = stabilizer_switches{};
   sw.check_structure = false;
-  auto hc = config_with(sw, 11);
-  hc.dr.min_children = 3;
-  hc.dr.max_children = 6;
-  testbed tb(hc);
-  tb.populate(60);
-  ASSERT_GE(tb.converge(), 0);
+  auto bc = config_with(sw, 11);
+  bc.dr.min_children = 3;
+  bc.dr.max_children = 6;
+  rig r(bc);
+  r.populate(60);
+  ASSERT_GE(r.converge(), 0);
 
   // Shrink some interior node below m by discarding children: without
   // compaction/redistribution nothing restores the m bound (joins could,
   // but none arrive).
-  const auto root = tb.overlay().current_root();
+  const auto root = r.overlay().current_root();
   peer_id victim = kNoPeer;
-  for (const auto p : tb.overlay().live_peers()) {
-    const auto& peer = tb.overlay().peer(p);
+  for (const auto p : r.overlay().live_peers()) {
+    const auto& peer = r.overlay().peer(p);
     if (p == root || peer.top() == 0) continue;
     const auto& ins = peer.inst(peer.top());
     if (ins.children.size() >= 4) {
@@ -161,24 +190,24 @@ TEST(StabilizerAblation, CheckStructureIsNecessary) {
   }
   ASSERT_NE(victim, kNoPeer);
   // Crash children of the victim until it is underloaded.
-  auto& victim_peer = tb.overlay().peer(victim);
+  auto& victim_peer = r.overlay().peer(victim);
   const auto h = victim_peer.top();
   std::size_t crashed = 0;
   for (const auto c : victim_peer.inst(h).children) {
     if (c == victim) continue;
     if (victim_peer.inst(h).children.size() - crashed <= 2) break;
-    tb.overlay().crash(c);
+    r.overlay().crash(c);
     ++crashed;
   }
   ASSERT_GT(crashed, 0u);
-  EXPECT_EQ(tb.converge(40), -1)
+  EXPECT_EQ(r.converge(40), -1)
       << "m bound restored with CHECK_STRUCTURE disabled?";
 
   // Control: full stabilizer handles the identical scenario.
-  auto hc2 = config_with(stabilizer_switches{}, 11);
-  hc2.dr.min_children = 3;
-  hc2.dr.max_children = 6;
-  testbed control(hc2);
+  auto bc2 = config_with(stabilizer_switches{}, 11);
+  bc2.dr.min_children = 3;
+  bc2.dr.max_children = 6;
+  rig control(bc2);
   control.populate(60);
   ASSERT_GE(control.converge(), 0);
   auto live = control.overlay().live_peers();
@@ -191,9 +220,9 @@ TEST(StabilizerAblation, CheckStructureIsNecessary) {
 // Hand-build a three-peer tree where a *small*-filter peer is the root
 // and a big-filter peer sits below it — the Fig. 13 violation ("the child
 // of a node may better cover the node sub-tree than the node itself").
-void stage_cover_violation(testbed& tb, spatial::peer_id a,
-                           spatial::peer_id b, spatial::peer_id c) {
-  auto& ov = tb.overlay();
+void stage_cover_violation(rig& r, spatial::peer_id a, spatial::peer_id b,
+                           spatial::peer_id c) {
+  auto& ov = r.overlay();
   for (const auto p : {a, b, c}) {
     auto& peer = ov.peer(p);
     while (peer.top() > 0) peer.erase_inst(peer.top());
@@ -215,24 +244,24 @@ void stage_cover_violation(testbed& tb, spatial::peer_id a,
 TEST(StabilizerAblation, CheckCoverIsNecessary) {
   auto sw = stabilizer_switches{};
   sw.check_cover = false;
-  auto hc = config_with(sw, 13);
-  hc.dr.min_children = 2;
-  hc.dr.max_children = 4;
-  testbed tb(hc);
-  const auto a = tb.add(geo::make_rect2(0, 0, 10, 10));     // small: root
-  const auto b = tb.add(geo::make_rect2(20, 0, 30, 10));    // small
-  const auto c = tb.add(geo::make_rect2(0, 0, 900, 900));   // big: child
-  tb.overlay().settle();
-  stage_cover_violation(tb, a, b, c);
-  ASSERT_FALSE(tb.legal());  // "child c offers a better cover"
-  EXPECT_EQ(tb.converge(40), -1)
+  auto bc = config_with(sw, 13);
+  bc.dr.min_children = 2;
+  bc.dr.max_children = 4;
+  rig r(bc);
+  const auto a = r.add(geo::make_rect2(0, 0, 10, 10));     // small: root
+  const auto b = r.add(geo::make_rect2(20, 0, 30, 10));    // small
+  const auto c = r.add(geo::make_rect2(0, 0, 900, 900));   // big: child
+  r.overlay().settle();
+  stage_cover_violation(r, a, b, c);
+  ASSERT_FALSE(r.legal());  // "child c offers a better cover"
+  EXPECT_EQ(r.converge(40), -1)
       << "cover violation repaired with CHECK_COVER disabled?";
 
   // Control: with CHECK_COVER enabled the big filter is promoted.
-  auto hc2 = config_with(stabilizer_switches{}, 13);
-  hc2.dr.min_children = 2;
-  hc2.dr.max_children = 4;
-  testbed control(hc2);
+  auto bc2 = config_with(stabilizer_switches{}, 13);
+  bc2.dr.min_children = 2;
+  bc2.dr.max_children = 4;
+  rig control(bc2);
   const auto a2 = control.add(geo::make_rect2(0, 0, 10, 10));
   const auto b2 = control.add(geo::make_rect2(20, 0, 30, 10));
   const auto c2 = control.add(geo::make_rect2(0, 0, 900, 900));
@@ -244,62 +273,56 @@ TEST(StabilizerAblation, CheckCoverIsNecessary) {
 }
 
 TEST(EfficientLeave, HandoffKeepsStructureLegalImmediately) {
-  harness_config hc;
-  hc.net.seed = 17;
-  hc.dr.efficient_leave = true;
-  testbed tb(hc);
-  tb.populate(50);
-  ASSERT_GE(tb.converge(), 0);
+  auto bc = config_with(stabilizer_switches{}, 17);
+  bc.dr.efficient_leave = true;
+  rig r(bc);
+  r.populate(50);
+  ASSERT_GE(r.converge(), 0);
 
   // Remove interior peers one by one; with handoff the structure should
   // be repairable within very few rounds each time.
   for (int i = 0; i < 10; ++i) {
-    const auto victim = interior_non_root(tb);
+    const auto victim = interior_non_root(r);
     if (victim == kNoPeer) break;
-    tb.overlay().controlled_leave(victim);
-    tb.overlay().settle();
-    const int rounds = tb.converge(40);
+    ASSERT_TRUE(r.backend->unsubscribe(victim));
+    const int rounds = r.converge(40);
     ASSERT_GE(rounds, 0) << "handoff leave " << i << " diverged";
     EXPECT_LE(rounds, 6) << "handoff leave " << i << " needed " << rounds;
   }
-  EXPECT_TRUE(tb.legal());
+  EXPECT_TRUE(r.legal());
 }
 
 TEST(EfficientLeave, RootHandoffElectsNewRoot) {
-  harness_config hc;
-  hc.net.seed = 19;
-  hc.dr.efficient_leave = true;
-  testbed tb(hc);
-  tb.populate(30);
-  ASSERT_GE(tb.converge(), 0);
-  const auto root = tb.overlay().current_root();
-  tb.overlay().controlled_leave(root);
-  tb.overlay().settle();
-  ASSERT_GE(tb.converge(60), 0);
-  EXPECT_TRUE(tb.legal());
-  EXPECT_NE(tb.overlay().current_root(), kNoPeer);
-  EXPECT_NE(tb.overlay().current_root(), root);
+  auto bc = config_with(stabilizer_switches{}, 19);
+  bc.dr.efficient_leave = true;
+  rig r(bc);
+  r.populate(30);
+  ASSERT_GE(r.converge(), 0);
+  const auto root = r.overlay().current_root();
+  ASSERT_TRUE(r.backend->unsubscribe(root));
+  ASSERT_GE(r.converge(60), 0);
+  EXPECT_TRUE(r.legal());
+  EXPECT_NE(r.overlay().current_root(), kNoPeer);
+  EXPECT_NE(r.overlay().current_root(), root);
 }
 
 TEST(EfficientLeave, CheaperThanFig9Baseline) {
   auto run = [](bool handoff) {
-    harness_config hc;
-    hc.net.seed = 23;
-    hc.dr.efficient_leave = handoff;
-    testbed tb(hc);
-    tb.populate(60);
-    tb.converge();
-    auto live = tb.overlay().live_peers();
-    tb.workload_rng().shuffle(live);
-    const auto m0 = tb.overlay().sim().metrics().messages_sent;
+    auto bc = config_with(stabilizer_switches{}, 23);
+    bc.dr.efficient_leave = handoff;
+    rig r(bc);
+    r.populate(60);
+    r.converge();
+    auto live = r.overlay().live_peers();
+    r.rng().shuffle(live);
+    const auto m0 = r.backend->counters().messages;
     for (int i = 0; i < 15; ++i) {
-      if (tb.overlay().alive(live[i])) {
-        tb.overlay().controlled_leave(live[i]);
-        tb.overlay().settle();
+      if (r.backend->alive(live[i])) {
+        r.backend->unsubscribe(live[i]);
       }
     }
-    tb.converge(300);
-    return tb.overlay().sim().metrics().messages_sent - m0;
+    r.converge(300);
+    return r.backend->counters().messages - m0;
   };
   const auto baseline = run(false);
   const auto handoff = run(true);
@@ -310,26 +333,34 @@ TEST(EfficientLeave, CheaperThanFig9Baseline) {
 TEST(Restart, PeerRestartingWithStaleStateConverges) {
   // §2.1: processes "can fail temporarily (transient faults)".  A
   // restarted peer resumes with its pre-crash state, which is stale by
-  // then; stabilization must absorb it.
-  harness_config hc;
-  hc.net.seed = 29;
-  testbed tb(hc);
-  tb.populate(40);
-  ASSERT_GE(tb.converge(), 0);
-
-  auto live = tb.overlay().live_peers();
-  tb.workload_rng().shuffle(live);
-  std::vector<peer_id> downed(live.begin(), live.begin() + 8);
-  for (const auto p : downed) tb.overlay().crash(p);
-  // Let the survivors repair around the hole...
-  ASSERT_GE(tb.converge(200), 0);
-  // ...then bring the peers back with their stale instance chains.
-  for (const auto p : downed) tb.overlay().sim().restart(p);
-  ASSERT_GE(tb.converge(200), 0);
-  const auto r = tb.report();
-  EXPECT_TRUE(r.legal()) << r.violations.front();
-  EXPECT_EQ(r.live_peers, 40u);
-  EXPECT_EQ(r.reachable, 40u);
+  // then; stabilization must absorb it.  Declaratively: crash_burst,
+  // heal, restart_burst, heal again.
+  engine::overlay_backend_config bc;
+  bc.net.seed = 29;
+  drtree_backend backend(bc);
+  scenario_runner runner(backend);
+  const auto rec = runner.run(engine::scenario::make("stale_restart")
+                                  .populate(40)
+                                  .converge(80)
+                                  .crash_count(8)
+                                  .converge(200)
+                                  .restart_burst(8)
+                                  .converge(200)
+                                  .build());
+  for (const auto& m : rec.phases()) {
+    if (m.phase == "converge_until_legal") {
+      ASSERT_GE(m.rounds, 0) << "phase " << m.index;
+    }
+  }
+  const auto* restarts = rec.last("restart_burst");
+  ASSERT_NE(restarts, nullptr);
+  EXPECT_EQ(restarts->restarts, 8u);
+  const auto report = checker(backend.overlay()).check();
+  EXPECT_TRUE(report.legal()) << (report.violations.empty()
+                                      ? "?"
+                                      : report.violations.front());
+  EXPECT_EQ(report.live_peers, 40u);
+  EXPECT_EQ(report.reachable, 40u);
 }
 
 }  // namespace
