@@ -2,7 +2,15 @@
 // paper table): insert / point query / erase throughput per split policy.
 // These are true google-benchmark timing loops; the experiment benches
 // (E4-E15) carry the paper-series tables.
+//
+// Benchmarks are registered with the split policy spelled out in the
+// name (BM_RtreeInsert/quadratic/1000, not an opaque /1/1000 range
+// argument), so every JSON row is self-describing and
+// scripts/compare_benches.sh can gate per-policy rows by name.
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "rtree/rtree.h"
@@ -21,9 +29,8 @@ std::vector<drt::spatial::box> dataset(std::size_t n, std::uint64_t seed) {
       drt::workload::subscription_family::uniform, n, rng, params);
 }
 
-void BM_RtreeInsert(benchmark::State& state) {
-  const auto method = static_cast<split_method>(state.range(0));
-  const auto n = static_cast<std::size_t>(state.range(1));
+void BM_RtreeInsert(benchmark::State& state, split_method method,
+                    std::size_t n) {
   const auto rects = dataset(n, 7);
   drt::rtree::rtree_config rc;
   rc.method = method;
@@ -37,9 +44,27 @@ void BM_RtreeInsert(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 
-void BM_RtreePointQuery(benchmark::State& state) {
-  const auto method = static_cast<split_method>(state.range(0));
-  const auto n = static_cast<std::size_t>(state.range(1));
+void BM_RtreePointQuery(benchmark::State& state, split_method method,
+                        std::size_t n) {
+  const auto rects = dataset(n, 11);
+  drt::rtree::rtree_config rc;
+  rc.method = method;
+  drt::rtree::rtree2 index(rc);
+  for (std::size_t i = 0; i < rects.size(); ++i) index.insert(rects[i], i);
+  drt::util::rng rng(13);
+  std::vector<std::uint64_t> hits;  // caller-owned, reused every query
+  for (auto _ : state) {
+    drt::geo::point2 p{{rng.uniform_real(0, 1000), rng.uniform_real(0, 1000)}};
+    index.search_point(p, hits);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_RtreePointQueryVisitor(benchmark::State& state, split_method method,
+                               std::size_t n) {
+  // The fully allocation-free entry point: no result buffer at all, the
+  // visitor folds the matches as they stream out of the slot sweeps.
   const auto rects = dataset(n, 11);
   drt::rtree::rtree_config rc;
   rc.method = method;
@@ -48,13 +73,33 @@ void BM_RtreePointQuery(benchmark::State& state) {
   drt::util::rng rng(13);
   for (auto _ : state) {
     drt::geo::point2 p{{rng.uniform_real(0, 1000), rng.uniform_real(0, 1000)}};
-    benchmark::DoNotOptimize(index.search_point(p));
+    std::uint64_t acc = 0;
+    index.search_point(p, [&acc](std::uint64_t payload) { acc += payload; });
+    benchmark::DoNotOptimize(acc);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
-void BM_RtreeBulkLoad(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
+void BM_RtreeIntersectsQuery(benchmark::State& state, split_method method,
+                             std::size_t n) {
+  const auto rects = dataset(n, 19);
+  drt::rtree::rtree_config rc;
+  rc.method = method;
+  drt::rtree::rtree2 index(rc);
+  for (std::size_t i = 0; i < rects.size(); ++i) index.insert(rects[i], i);
+  drt::util::rng rng(29);
+  std::vector<std::uint64_t> hits;
+  for (auto _ : state) {
+    const double x = rng.uniform_real(0, 950);
+    const double y = rng.uniform_real(0, 950);
+    const auto q = drt::geo::make_rect2(x, y, x + 50, y + 50);
+    index.search_intersects(q, hits);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_RtreeBulkLoad(benchmark::State& state, std::size_t n) {
   const auto rects = dataset(n, 23);
   std::vector<std::pair<drt::spatial::box, std::uint64_t>> items;
   for (std::size_t i = 0; i < rects.size(); ++i) {
@@ -68,9 +113,8 @@ void BM_RtreeBulkLoad(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 
-void BM_RtreeErase(benchmark::State& state) {
-  const auto method = static_cast<split_method>(state.range(0));
-  const auto n = static_cast<std::size_t>(state.range(1));
+void BM_RtreeErase(benchmark::State& state, split_method method,
+                   std::size_t n) {
   const auto rects = dataset(n, 17);
   drt::rtree::rtree_config rc;
   rc.method = method;
@@ -87,21 +131,51 @@ void BM_RtreeErase(benchmark::State& state) {
                           static_cast<std::int64_t>(n / 2));
 }
 
-}  // namespace
+// Registration: one benchmark per (operation, policy, size), with the
+// policy in the name so JSON rows are distinguishable.
+[[maybe_unused]] const int kRegistered = [] {
+  constexpr split_method kPolicies[] = {split_method::linear,
+                                        split_method::quadratic,
+                                        split_method::rstar};
+  auto name = [](const char* op, split_method m, std::size_t n) {
+    std::string s = op;
+    s += '/';
+    s += to_string(m);
+    s += '/';
+    s += std::to_string(n);
+    return s;
+  };
+  for (const auto m : kPolicies) {
+    for (const std::size_t n : {1000u, 10000u}) {
+      benchmark::RegisterBenchmark(name("BM_RtreeInsert", m, n).c_str(),
+                                   BM_RtreeInsert, m, n)
+          ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::RegisterBenchmark(name("BM_RtreePointQuery", m, 10000).c_str(),
+                                 BM_RtreePointQuery, m, 10000)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        name("BM_RtreePointQueryVisitor", m, 10000).c_str(),
+        BM_RtreePointQueryVisitor, m, 10000)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        name("BM_RtreeIntersectsQuery", m, 10000).c_str(),
+        BM_RtreeIntersectsQuery, m, 10000)
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(name("BM_RtreeErase", m, 2000).c_str(),
+                                 BM_RtreeErase, m, 2000)
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (const std::size_t n : {1000u, 10000u}) {
+    benchmark::RegisterBenchmark(
+        ("BM_RtreeBulkLoad/" + std::to_string(n)).c_str(), BM_RtreeBulkLoad,
+        n)
+        ->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}();
 
-BENCHMARK(BM_RtreeInsert)
-    ->ArgsProduct({{0, 1, 2}, {1000, 10000}})
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_RtreePointQuery)
-    ->ArgsProduct({{0, 1, 2}, {10000}})
-    ->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_RtreeBulkLoad)
-    ->Arg(1000)
-    ->Arg(10000)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_RtreeErase)
-    ->ArgsProduct({{0, 1, 2}, {2000}})
-    ->Unit(benchmark::kMillisecond);
+}  // namespace
 
 DRT_BENCH_MAIN(
     "E3: sequential R-tree substrate microbenchmarks",

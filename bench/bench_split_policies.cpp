@@ -45,10 +45,12 @@ void BM_SplitPolicy(benchmark::State& state) {
     stats = index.stats();
     index.last_nodes_visited = 0;
     std::size_t queries = 0;
+    std::vector<std::uint64_t> hits;  // reused query buffer
     for (int q = 0; q < 500; ++q) {
       const auto p = drt::workload::make_event_point(
           drt::workload::event_family::uniform, rng, params.workspace);
-      benchmark::DoNotOptimize(index.search_point(p));
+      index.search_point(p, hits);
+      benchmark::DoNotOptimize(hits.data());
       ++queries;
     }
     query_nodes = static_cast<double>(index.last_nodes_visited) /

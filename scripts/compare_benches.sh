@@ -10,11 +10,14 @@
 #   THRESHOLD_PCT  max allowed cpu-time regression, default 10
 #
 # Every benchmark present in both sets is reported.  Only the *tier-1*
-# benches gate the exit status: the timing microbenches with statistically
-# meaningful iteration counts (DRT_TIER1_BENCHES to override).  The
-# experiment benches run single-shot wall-clock iterations and are too
-# noisy to gate on, but their deltas are still printed.  A tier-1 bench
-# file or benchmark missing from the candidate set is a hard failure.
+# benches gate the exit status (DRT_TIER1_BENCHES to override): the
+# timing microbenches with statistically meaningful iteration counts
+# (sim_core, rtree_ops) plus the two end-to-end hot-path benches that
+# ride the R-tree substrate (search, latency) — single-shot iterations,
+# so capture them with repetitions and rely on the min.  Other
+# experiment benches are too noisy to gate on, but their deltas are
+# still printed.  A tier-1 bench file or benchmark missing from the
+# candidate set is a hard failure.
 #
 # Run both sets with --benchmark_repetitions=5: every repetition is one
 # JSON record and the comparison takes the per-name minimum, which is
@@ -28,7 +31,7 @@ fi
 BASE_DIR="$1"
 CAND_DIR="$2"
 THRESHOLD="${3:-10}"
-TIER1="${DRT_TIER1_BENCHES:-sim_core rtree_ops}"
+TIER1="${DRT_TIER1_BENCHES:-sim_core rtree_ops search latency}"
 
 [ -d "$BASE_DIR" ] || { echo "baseline dir '$BASE_DIR' not found" >&2; exit 2; }
 [ -d "$CAND_DIR" ] || { echo "candidate dir '$CAND_DIR' not found" >&2; exit 2; }

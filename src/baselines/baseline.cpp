@@ -1,29 +1,56 @@
 #include "baselines/baseline.h"
 
-#include <algorithm>
+#include <utility>
 
 namespace drt::baselines {
+
+void delivery_scorer::rebuild(const std::vector<spatial::box>& subscriptions) {
+  population_ = subscriptions.size();
+  std::vector<std::pair<spatial::box, std::uint64_t>> items;
+  items.reserve(population_);
+  for (std::size_t i = 0; i < population_; ++i) {
+    items.emplace_back(subscriptions[i], i);
+  }
+  truth_ = rtree::rtree<spatial::kDims>::bulk_load(std::move(items));
+}
+
+delivery_score delivery_scorer::score(
+    const spatial::pt& value, const std::vector<std::size_t>& receivers) {
+  delivery_score d;
+  got_.assign(population_, false);
+  for (const auto r : receivers) {
+    if (r < population_) got_[r] = true;
+  }
+  truth_.search_point(value, matches_);
+  d.interested = matches_.size();
+  interested_.assign(population_, false);
+  for (const auto h : matches_) {
+    interested_[static_cast<std::size_t>(h)] = true;
+  }
+  for (std::size_t i = 0; i < population_; ++i) {
+    if (got_[i]) ++d.delivered;
+    if (got_[i] && !interested_[i]) ++d.false_positives;
+    if (!got_[i] && interested_[i]) ++d.false_negatives;
+  }
+  return d;
+}
 
 baseline_accuracy measure_accuracy(
     pubsub_baseline& overlay, const std::vector<spatial::box>& subscriptions,
     const std::vector<std::pair<std::size_t, spatial::pt>>& publications) {
   baseline_accuracy acc;
   acc.population = subscriptions.size();
+  delivery_scorer scorer;
+  scorer.rebuild(subscriptions);
   for (const auto& [publisher, value] : publications) {
     const auto d = overlay.publish(publisher, value);
     ++acc.events;
     acc.messages += d.messages;
-    std::vector<bool> got(subscriptions.size(), false);
-    for (const auto r : d.receivers) {
-      if (r < got.size()) got[r] = true;
-    }
-    for (std::size_t i = 0; i < subscriptions.size(); ++i) {
-      const bool interested = subscriptions[i].contains(value);
-      if (interested) ++acc.interested;
-      if (got[i]) ++acc.deliveries;
-      if (got[i] && !interested) ++acc.false_positives;
-      if (!got[i] && interested) ++acc.false_negatives;
-    }
+    const auto s = scorer.score(value, d.receivers);
+    acc.interested += s.interested;
+    acc.deliveries += s.delivered;
+    acc.false_positives += s.false_positives;
+    acc.false_negatives += s.false_negatives;
   }
   return acc;
 }

@@ -19,9 +19,33 @@ dr_overlay::dr_overlay(dr_config config, sim::simulator_config sim_cfg)
 peer_id dr_overlay::add_peer(const spatial::box& filter) {
   auto p = std::make_unique<dr_peer>(*this, filter);
   const auto id = static_cast<peer_id>(sim_.add_process(std::move(p)));
+  // Ground-truth index entry: filters are immutable, peers are never
+  // reused, so the entry stays valid for the peer's whole lifetime
+  // (liveness is checked at query time).
+  filter_index_.insert(filter, id);
   auto& created = peer(id);
   created.start_join(contact_node(id));
   return id;
+}
+
+void dr_overlay::matching_live_peers(const spatial::pt& value,
+                                     std::vector<peer_id>& out) const {
+  out.clear();
+  filter_index_.search_point(value, [&](std::uint64_t h) {
+    const auto p = static_cast<peer_id>(h);
+    if (alive(p)) out.push_back(p);
+  });
+  std::sort(out.begin(), out.end());
+}
+
+void dr_overlay::intersecting_live_peers(const spatial::box& query,
+                                         std::vector<peer_id>& out) const {
+  out.clear();
+  filter_index_.search_intersects(query, [&](std::uint64_t h) {
+    const auto p = static_cast<peer_id>(h);
+    if (alive(p)) out.push_back(p);
+  });
+  std::sort(out.begin(), out.end());
 }
 
 peer_id dr_overlay::add_peer_and_settle(const spatial::box& filter,
@@ -39,9 +63,23 @@ void dr_overlay::controlled_leave(peer_id p) {
     peer(p).announce_leave();
   }
   sim_.crash(p);
+  // A controlled departure drops the filter from the ground-truth
+  // index, so under churn it stays bounded by live + crashed peers
+  // instead of growing with every subscription ever made; restart()
+  // re-indexes the peer if it is ever revived.
+  filter_index_.erase(peer(p).filter(), p);
+  departed_.insert(p);
 }
 
 void dr_overlay::crash(peer_id p) { sim_.crash(p); }
+
+void dr_overlay::restart(peer_id p) {
+  DRT_EXPECT(!alive(p));
+  if (departed_.erase(p) > 0) {
+    filter_index_.insert(peer(p).filter(), p);
+  }
+  sim_.restart(p);
+}
 
 dr_peer& dr_overlay::peer(peer_id p) {
   return static_cast<dr_peer&>(sim_.get(p));
@@ -131,19 +169,24 @@ publish_result dr_overlay::publish_and_drain(peer_id publisher,
   r.messages = sim_.metrics().messages_sent - msgs_before;
   r.max_hops = delivery_hops_[ev.id];
   const auto& delivered = deliveries_[ev.id];
-  // Runs once per published event: iterate live peers without building a
-  // snapshot vector each time.
-  for_each_live([&](peer_id p) {
-    const bool interested = peer(p).filter().contains(value);
-    const bool got = delivered.count(p) > 0;
-    if (interested) ++r.interested;
-    if (got) {
-      ++r.delivered;
-      r.receivers.push_back(p);
-    }
-    if (got && !interested) ++r.false_positives;
-    if (!got && interested) ++r.false_negatives;
-  });
+  // Runs once per published event.  Ground truth comes from the filter
+  // index (O(log N + matches)) instead of a scan over every live peer;
+  // receivers are exactly the recorded deliveries (peers only record
+  // while alive, and nothing dies inside this drain).
+  r.receivers.reserve(delivered.size());
+  for (const auto p : delivered) {
+    if (alive(p)) r.receivers.push_back(p);
+  }
+  std::sort(r.receivers.begin(), r.receivers.end());
+  r.delivered = r.receivers.size();
+  for (const auto p : r.receivers) {
+    if (!peer(p).filter().contains(value)) ++r.false_positives;
+  }
+  matching_live_peers(value, match_scratch_);
+  r.interested = match_scratch_.size();
+  for (const auto p : match_scratch_) {
+    if (delivered.count(p) == 0) ++r.false_negatives;
+  }
   deliveries_.erase(ev.id);
   delivery_hops_.erase(ev.id);
   return r;
@@ -170,12 +213,14 @@ dr_overlay::search_result dr_overlay::search_and_drain(
   const auto& hits = search_hits_[query_id];
   r.hits.assign(hits.begin(), hits.end());
   std::sort(r.hits.begin(), r.hits.end());
-  for_each_live([&](peer_id p) {
-    const bool expected = peer(p).filter().intersects(query);
-    const bool got = hits.count(p) > 0;
-    if (expected && !got) ++r.false_negatives;
-    if (!expected && got) ++r.false_positives;
-  });
+  // Ground truth via the filter index instead of a live-population scan.
+  for (const auto p : r.hits) {
+    if (alive(p) && !peer(p).filter().intersects(query)) ++r.false_positives;
+  }
+  intersecting_live_peers(query, match_scratch_);
+  for (const auto p : match_scratch_) {
+    if (hits.count(p) == 0) ++r.false_negatives;
+  }
   search_hits_.erase(query_id);
   search_hops_.erase(query_id);
   return r;

@@ -13,6 +13,7 @@
 
 #include "drtree/config.h"
 #include "drtree/peer.h"
+#include "rtree/rtree.h"
 #include "sim/simulator.h"
 #include "spatial/types.h"
 
@@ -60,6 +61,12 @@ class dr_overlay {
 
   /// Uncontrolled departure: the peer silently crashes.
   void crash(spatial::peer_id p);
+
+  /// Revive a dead peer (crashed *or* departed) with its old filter.
+  /// Goes through the overlay — not sim().restart() — so the
+  /// ground-truth filter index is restored for peers whose controlled
+  /// departure removed them from it.
+  void restart(spatial::peer_id p);
 
   // ------------------------------------------------------------ access
   dr_peer& peer(spatial::peer_id p);
@@ -122,6 +129,22 @@ class dr_overlay {
                                  const spatial::box& query,
                                  std::uint64_t max_steps = 1000000);
 
+  // ------------------------------------------------- ground-truth index
+  // Filters are immutable for a peer's lifetime, so the overlay keeps
+  // every filter ever registered in one sequential R-tree and prunes
+  // dead peers by liveness at query time.  This replaces the O(N)
+  // brute-force scan that used to run once per published event / range
+  // search — the per-event matching cost is now O(log N + answers).
+
+  /// Live peers whose filter contains `value`, ascending id order, into
+  /// the caller-owned buffer (cleared first; no allocation once warm).
+  void matching_live_peers(const spatial::pt& value,
+                           std::vector<spatial::peer_id>& out) const;
+
+  /// Live peers whose filter intersects `query`, ascending id order.
+  void intersecting_live_peers(const spatial::box& query,
+                               std::vector<spatial::peer_id>& out) const;
+
   /// Called by peers when a SEARCH_HIT arrives (or a local hit occurs).
   void record_search_hit(std::uint64_t query_id, spatial::peer_id p,
                          std::size_t hop);
@@ -145,6 +168,11 @@ class dr_overlay {
  private:
   dr_config config_;
   sim::simulator sim_;
+  rtree::rtree<spatial::kDims> filter_index_;
+  /// Peers whose controlled departure removed them from filter_index_;
+  /// restart() re-indexes them.
+  std::unordered_set<spatial::peer_id> departed_;
+  mutable std::vector<spatial::peer_id> match_scratch_;
   std::uint64_t next_event_id_ = 1;
   std::unordered_map<std::uint64_t, std::unordered_set<spatial::peer_id>>
       deliveries_;

@@ -1071,8 +1071,12 @@ void dr_peer::check_structure(std::size_t h) {
 
 void dr_peer::stabilize_pass() {
   const auto& sw = overlay_.config().stabilizers;
+  // Snapshot the heights into reusable scratch (modules may erase
+  // instances mid-pass; the old per-pass vector allocation is gone).
+  heights_scratch_.clear();
+  for (const auto& kv : levels_) heights_scratch_.push_back(kv.first);
   // Bottom-up so MBR fixes propagate toward the root within one pass.
-  for (const auto h : instance_heights()) {
+  for (const auto h : heights_scratch_) {
     if (!has_instance(h)) continue;  // erased by an earlier module
     if (sw.check_parent) check_parent(h);
     if (!has_instance(h)) continue;
@@ -1268,7 +1272,9 @@ void dr_peer::handle_search_down(const dr_msg& m) {
   // if it dissolved), following every child whose MBR intersects the
   // query.  Local chain hops are free (same process); remote forwards are
   // messages.
-  std::vector<std::size_t> heights{std::min(m.h, top())};
+  auto& heights = search_scratch_;
+  heights.clear();
+  heights.push_back(std::min(m.h, top()));
   while (!heights.empty()) {
     const auto h = heights.back();
     heights.pop_back();

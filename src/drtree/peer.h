@@ -234,6 +234,12 @@ class dr_peer : public sim::process {
   // event ids (bounded ring).
   std::vector<std::uint64_t> seen_events_;
   std::size_t seen_cursor_ = 0;
+
+  // Hot-path scratch, reused across messages so the publish/search loops
+  // never allocate: the local-descent worklist of handle_search_down and
+  // the per-pass height snapshot of stabilize_pass.
+  std::vector<std::size_t> search_scratch_;
+  std::vector<std::size_t> heights_scratch_;
 };
 
 }  // namespace drt::overlay

@@ -62,7 +62,7 @@ bool drtree_backend::crash(sub_id s) {
 bool drtree_backend::restart(sub_id s) {
   const auto p = static_cast<spatial::peer_id>(s);
   if (overlay_->alive(p)) return false;
-  overlay_->sim().restart(p);
+  overlay_->restart(p);
   return true;
 }
 
@@ -157,7 +157,7 @@ bool broker_backend::restart(sub_id s) {
   auto& ov = broker_->raw_overlay();
   const auto p = static_cast<spatial::peer_id>(s);
   if (ov.alive(p)) return false;
-  ov.sim().restart(p);
+  ov.restart(p);
   return true;
 }
 
@@ -226,6 +226,9 @@ void baseline_backend::rebuild() {
   impl_->build(filters_);
   ++rebuilds_;
   messages_ += impl_->build_messages();
+  // Honest-rebuild semantics extend to the ground-truth matcher: it is
+  // reconstructed from the surviving subscription set.
+  scorer_.rebuild(filters_);
 }
 
 std::size_t baseline_backend::index_of(sub_id s) const {
@@ -263,17 +266,11 @@ delivery_report baseline_backend::publish(sub_id publisher,
   delivery_report d;
   d.messages = diss.messages;
   d.max_hops = diss.max_hops;
-  std::vector<bool> got(filters_.size(), false);
-  for (const auto r : diss.receivers) {
-    if (r < got.size()) got[r] = true;
-  }
-  for (std::size_t i = 0; i < filters_.size(); ++i) {
-    const bool interested = filters_[i].contains(value);
-    if (interested) ++d.interested;
-    if (got[i]) ++d.delivered;
-    if (got[i] && !interested) ++d.false_positives;
-    if (!got[i] && interested) ++d.false_negatives;
-  }
+  const auto s = scorer_.score(value, diss.receivers);
+  d.interested = s.interested;
+  d.delivered = s.delivered;
+  d.false_positives = s.false_positives;
+  d.false_negatives = s.false_negatives;
   return d;
 }
 

@@ -21,6 +21,7 @@
 #include "drtree/overlay.h"
 #include "engine/backend.h"
 #include "pubsub/broker.h"
+#include "rtree/rtree.h"
 
 namespace drt::engine {
 
@@ -149,6 +150,10 @@ class baseline_backend final : public backend {
   sub_id next_id_ = 1;
   std::uint64_t messages_ = 0;
   std::uint64_t rebuilds_ = 0;
+  // Ground-truth matcher over filters_, rebuilt with the baseline (the
+  // membership set already changes only through rebuild()); publish()
+  // scores against it in O(log N + matches) with reusable buffers.
+  baselines::delivery_scorer scorer_;
 };
 
 /// All five systems of experiment E14 behind the uniform interface: the

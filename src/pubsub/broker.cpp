@@ -121,14 +121,23 @@ publish_outcome broker::publish(client_id publisher,
   ev.id = r.event_id;
   ev.publisher = via;
   ev.value = value;
+  // A client matches iff any of its live subscription peers' filters
+  // contains the value; the overlay's ground-truth index yields those
+  // peers directly instead of a scan over every client's peer list.
+  overlay_.matching_live_peers(value, match_scratch_);
+  matched_clients_.clear();
+  for (const auto p : match_scratch_) {
+    const auto it = owner_of_.find(p);
+    if (it == owner_of_.end()) continue;
+    matched_clients_.push_back(it->second);
+  }
+  std::sort(matched_clients_.begin(), matched_clients_.end());
+  matched_clients_.erase(
+      std::unique(matched_clients_.begin(), matched_clients_.end()),
+      matched_clients_.end());
   for (const auto& [client, state] : clients_) {
-    bool matches = false;
-    for (const auto p : state.peers) {
-      if (overlay_.alive(p) && overlay_.peer(p).filter().contains(value)) {
-        matches = true;
-        break;
-      }
-    }
+    const bool matches = std::binary_search(matched_clients_.begin(),
+                                            matched_clients_.end(), client);
     const bool got = std::binary_search(notified.begin(), notified.end(),
                                         client);
     if (matches) ++out.matching_clients;

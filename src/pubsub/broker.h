@@ -118,6 +118,11 @@ class broker {
   std::unordered_map<spatial::peer_id, client_id> owner_of_;
   client_id next_client_ = 1;
   delivery_callback on_delivery_;
+  // publish() scratch: exact matching goes through the overlay's filter
+  // index; these buffers make the per-event client aggregation
+  // allocation-free once warm.
+  std::vector<spatial::peer_id> match_scratch_;
+  std::vector<client_id> matched_clients_;
 };
 
 }  // namespace drt::pubsub

@@ -6,13 +6,25 @@
 // identical split code; (3) the ground-truth matcher used to validate
 // overlay dissemination (an R-tree point query returns exactly the
 // subscriptions an event must reach: no false negatives, no false
-// positives).
+// positives) — dr_overlay keeps one per network and queries it once per
+// published event, so this traversal is the hottest loop in the system.
+//
+// Memory layout (DESIGN.md §3b): all nodes live in one contiguous arena
+// addressed by 32-bit node ids.  A node's child bounds are stored
+// structure-of-arrays — per dimension, `cap` contiguous lows then `cap`
+// contiguous highs — so a point/rect test against a whole node is a
+// branch-light sweep the compiler vectorizes.  Freed nodes recycle
+// through an in-slab free list; queries are allocation-free (visitor or
+// caller-owned buffer, explicit traversal stack reused across calls).
 #ifndef DRT_RTREE_RTREE_H
 #define DRT_RTREE_RTREE_H
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
+#include <deque>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -27,7 +39,7 @@ namespace drt::rtree {
 
 struct rtree_config {
   std::size_t min_fill = 2;   ///< m: minimum entries per node (except root)
-  std::size_t max_fill = 8;   ///< M: maximum entries per node; M >= 2m
+  std::size_t max_fill = 8;   ///< M: maximum entries per node; M >= 2m, < 64
   split_method method = split_method::quadratic;
   bool rstar_reinsert = false;  ///< R* forced reinsertion on first overflow
   double reinsert_fraction = 0.3;  ///< R* default: reinsert 30% of entries
@@ -42,6 +54,10 @@ struct rtree_stats {
   double interior_overlap = 0.0;    ///< pairwise sibling MBR overlap area
   std::size_t splits = 0;           ///< cumulative since construction
   std::size_t reinsertions = 0;     ///< cumulative since construction
+  // Real substrate footprint (E4 memory accounting): the arena including
+  // free-listed nodes, and the bytes actually reserved by its slabs.
+  std::size_t node_count = 0;       ///< nodes in the arena (live + free)
+  std::size_t bytes_allocated = 0;  ///< slab bytes reserved by the arena
 };
 
 template <std::size_t D>
@@ -49,12 +65,41 @@ class rtree {
  public:
   using rect_t = geo::rect<D>;
   using point_t = geo::point<D>;
+  using node_id = std::uint32_t;
 
   explicit rtree(rtree_config config = {}) : config_(config) {
     DRT_EXPECT(config_.min_fill >= 1);
     DRT_EXPECT(config_.max_fill >= 2 * config_.min_fill);
-    root_ = std::make_unique<node>(/*leaf=*/true);
+    // Slot hit masks are one std::uint64_t per node sweep.
+    DRT_EXPECT(config_.max_fill < 64);
+    cap_ = static_cast<std::uint32_t>(config_.max_fill) + 1;  // overflow slot
+    root_ = alloc_node(/*leaf=*/true);
   }
+
+  // Copies duplicate the arena but not the traversal scratch (which is
+  // lazily regrown); moves transfer everything.
+  rtree(const rtree& other)
+      : config_(other.config_),
+        cap_(other.cap_),
+        meta_(other.meta_),
+        bounds_(other.bounds_),
+        slots_(other.slots_),
+        free_head_(other.free_head_),
+        live_nodes_(other.live_nodes_),
+        root_(other.root_),
+        size_(other.size_),
+        splits_(other.splits_),
+        reinsertions_(other.reinsertions_),
+        reinserted_levels_(other.reinserted_levels_) {}
+  rtree& operator=(const rtree& other) {
+    if (this != &other) {
+      rtree copy(other);
+      *this = std::move(copy);
+    }
+    return *this;
+  }
+  rtree(rtree&&) = default;
+  rtree& operator=(rtree&&) = default;
 
   /// Sort-Tile-Recursive bulk loading: packs the items into a tree with
   /// near-100% node utilization in O(N log N), far better coverage than
@@ -64,81 +109,89 @@ class rtree {
     rtree t(config);
     if (items.empty()) return t;
     t.size_ = items.size();
+    const auto cap = config.max_fill;
+    // Secondary sort dimension (1-D trees tile on the only axis twice).
+    [[maybe_unused]] constexpr std::size_t kY = D > 1 ? 1 : 0;
+
+    // STR tiles on sort keys precomputed once per pass ((center, index)
+    // pairs — 16 bytes), never recomputing center() inside a comparator
+    // or moving full records through the sort.
+    std::vector<std::pair<double, std::uint32_t>> keys;
 
     // Leaf level: sort by x-center, slice, sort each slice by y-center,
-    // pack runs of max_fill.
-    std::vector<std::unique_ptr<node>> level;
+    // pack runs of max_fill straight into arena nodes.
+    std::vector<node_id> level;
     {
-      std::sort(items.begin(), items.end(),
-                [](const auto& a, const auto& b) {
-                  return a.first.center()[0] < b.first.center()[0];
-                });
-      const auto cap = config.max_fill;
-      const std::size_t pages =
-          (items.size() + cap - 1) / cap;
+      keys.resize(items.size());
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        keys[i] = {items[i].first.center()[0], static_cast<std::uint32_t>(i)};
+      }
+      std::sort(keys.begin(), keys.end());
+      const std::size_t pages = (items.size() + cap - 1) / cap;
       const auto slices = static_cast<std::size_t>(
           std::ceil(std::sqrt(static_cast<double>(pages))));
-      const std::size_t per_slice =
-          (items.size() + slices - 1) / slices;
+      const std::size_t per_slice = (items.size() + slices - 1) / slices;
       for (std::size_t s = 0; s < slices; ++s) {
         const auto begin = std::min(s * per_slice, items.size());
         const auto end = std::min(begin + per_slice, items.size());
         if (begin >= end) break;
-        std::sort(items.begin() + static_cast<std::ptrdiff_t>(begin),
-                  items.begin() + static_cast<std::ptrdiff_t>(end),
-                  [](const auto& a, const auto& b) {
-                    return a.first.center()[1] < b.first.center()[1];
-                  });
+        for (std::size_t k = begin; k < end; ++k) {
+          keys[k].first = items[keys[k].second].first.center()[kY];
+        }
+        std::sort(keys.begin() + static_cast<std::ptrdiff_t>(begin),
+                  keys.begin() + static_cast<std::ptrdiff_t>(end));
         for (std::size_t i = begin; i < end; i += cap) {
-          auto leaf = std::make_unique<node>(/*leaf=*/true);
+          const node_id leaf = t.alloc_node(/*leaf=*/true);
           for (std::size_t j = i; j < std::min(i + cap, end); ++j) {
-            entry e;
-            e.mbr = items[j].first;
-            e.payload = items[j].second;
-            leaf->entries.push_back(std::move(e));
+            const auto& it = items[keys[j].second];
+            t.push_slot(leaf, it.first, it.second);
           }
-          level.push_back(std::move(leaf));
+          level.push_back(leaf);
         }
       }
-      fix_min_fill(level, config.min_fill);
+      t.fix_min_fill(level);
     }
 
     // Interior levels: pack node MBRs the same way until one remains.
+    // MBRs are computed once per level, not per comparison.
+    std::vector<std::pair<rect_t, node_id>> ents;
     while (level.size() > 1) {
-      std::sort(level.begin(), level.end(),
-                [](const auto& a, const auto& b) {
-                  return mbr_of(*a).center()[0] < mbr_of(*b).center()[0];
-                });
-      const auto cap = config.max_fill;
-      const std::size_t pages = (level.size() + cap - 1) / cap;
+      ents.clear();
+      ents.reserve(level.size());
+      for (const node_id n : level) ents.emplace_back(t.node_mbr(n), n);
+      keys.resize(ents.size());
+      for (std::size_t i = 0; i < ents.size(); ++i) {
+        keys[i] = {ents[i].first.center()[0], static_cast<std::uint32_t>(i)};
+      }
+      std::sort(keys.begin(), keys.end());
+      const std::size_t pages = (ents.size() + cap - 1) / cap;
       const auto slices = static_cast<std::size_t>(
           std::ceil(std::sqrt(static_cast<double>(pages))));
-      const std::size_t per_slice = (level.size() + slices - 1) / slices;
-      std::vector<std::unique_ptr<node>> next;
+      const std::size_t per_slice = (ents.size() + slices - 1) / slices;
+      std::vector<node_id> next;
       for (std::size_t s = 0; s < slices; ++s) {
-        const auto begin = std::min(s * per_slice, level.size());
-        const auto end = std::min(begin + per_slice, level.size());
+        const auto begin = std::min(s * per_slice, ents.size());
+        const auto end = std::min(begin + per_slice, ents.size());
         if (begin >= end) break;
-        std::sort(level.begin() + static_cast<std::ptrdiff_t>(begin),
-                  level.begin() + static_cast<std::ptrdiff_t>(end),
-                  [](const auto& a, const auto& b) {
-                    return mbr_of(*a).center()[1] < mbr_of(*b).center()[1];
-                  });
+        for (std::size_t k = begin; k < end; ++k) {
+          keys[k].first = ents[keys[k].second].first.center()[kY];
+        }
+        std::sort(keys.begin() + static_cast<std::ptrdiff_t>(begin),
+                  keys.begin() + static_cast<std::ptrdiff_t>(end));
         for (std::size_t i = begin; i < end; i += cap) {
-          auto parent = std::make_unique<node>(/*leaf=*/false);
+          const node_id parent = t.alloc_node(/*leaf=*/false);
           for (std::size_t j = i; j < std::min(i + cap, end); ++j) {
-            entry e;
-            e.mbr = mbr_of(*level[j]);
-            e.child = std::move(level[j]);
-            parent->entries.push_back(std::move(e));
+            const auto& e = ents[keys[j].second];
+            t.push_slot(parent, e.first, e.second);
           }
-          next.push_back(std::move(parent));
+          next.push_back(parent);
         }
       }
-      fix_min_fill(next, config.min_fill);
+      t.fix_min_fill(next);
       level = std::move(next);
     }
-    t.root_ = std::move(level.front());
+    t.free_node(t.root_);  // the constructor's empty leaf
+    t.root_ = level.front();
     t.reinserted_levels_.assign(t.height(), false);
     return t;
   }
@@ -148,13 +201,22 @@ class rtree {
   const rtree_config& config() const { return config_; }
 
   /// Height in levels; 1 when the root is a leaf, 0 never.
-  std::size_t height() const { return height_of(*root_); }
+  std::size_t height() const {
+    std::size_t h = 1;
+    node_id n = root_;
+    while (!meta_[n].leaf) {
+      DRT_ENSURE(meta_[n].count > 0);
+      n = child_of(n, 0);
+      ++h;
+    }
+    return h;
+  }
 
-  rect_t bounding_box() const { return mbr_of(*root_); }
+  rect_t bounding_box() const { return node_mbr(root_); }
 
   void insert(const rect_t& r, std::uint64_t payload) {
     reinserted_levels_.assign(height(), false);
-    insert_entry(entry{r, nullptr, payload}, /*target_level=*/0);
+    insert_entry(r, payload, /*target_level=*/0);
     ++size_;
   }
 
@@ -162,40 +224,90 @@ class rtree {
   /// Follows Guttman's CondenseTree: underfull nodes are dissolved and
   /// their entries reinserted at their original level.
   bool erase(const rect_t& r, std::uint64_t payload) {
-    node* leaf = nullptr;
-    std::vector<node*> path;
-    find_leaf(*root_, r, payload, path, leaf);
-    if (leaf == nullptr) return false;
-    for (std::size_t i = 0; i < leaf->entries.size(); ++i) {
-      if (leaf->entries[i].payload == payload && leaf->entries[i].mbr == r) {
-        leaf->entries.erase(leaf->entries.begin() +
-                            static_cast<std::ptrdiff_t>(i));
+    auto& path = acquire_path();
+    node_id leaf = knil;
+    find_leaf(root_, r, payload, path, leaf);
+    if (leaf == knil) {
+      release_path();
+      return false;
+    }
+    const std::uint32_t n = meta_[leaf].count;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (slots(leaf)[s] == payload && slot_mbr(leaf, s) == r) {
+        remove_slot(leaf, s);
         break;
       }
     }
     condense(path);
+    release_path();
     --size_;
     // Shrink the root if it has a single child and is not a leaf.
-    while (!root_->leaf && root_->entries.size() == 1) {
-      auto child = std::move(root_->entries[0].child);
-      root_ = std::move(child);
+    while (!meta_[root_].leaf && meta_[root_].count == 1) {
+      const node_id child = child_of(root_, 0);
+      free_node(root_);
+      root_ = child;
     }
     return true;
   }
 
-  /// All payloads whose stored rectangle contains `p` (pub/sub matching:
-  /// the subscriptions an event must be delivered to).
-  std::vector<std::uint64_t> search_point(const point_t& p) const {
-    std::vector<std::uint64_t> out;
-    search_point_rec(*root_, p, out);
-    return out;
+  /// Visit the payload of every stored rectangle containing `p` (pub/sub
+  /// matching: the subscriptions an event must be delivered to).
+  /// Allocation-free: the traversal stack is a member reused across
+  /// calls, and the per-node containment test is one SoA sweep over the
+  /// node's slots.
+  template <typename Visitor>
+  void search_point(const point_t& p, Visitor&& visit) const {
+    traverse(
+        [&](node_id n, std::uint32_t count, std::uint8_t* ok) {
+          sweep_point(n, count, p, ok);
+        },
+        [&](const std::uint8_t* ok, const std::uint64_t* sv,
+            std::uint32_t count) {
+          for (std::uint32_t s = 0; s < count; ++s) {
+            if (ok[s]) visit(sv[s]);
+          }
+        });
   }
 
-  /// All payloads whose stored rectangle intersects `query`.
-  std::vector<std::uint64_t> search_intersects(const rect_t& query) const {
-    std::vector<std::uint64_t> out;
-    search_intersects_rec(*root_, query, out);
-    return out;
+  /// Buffer-reuse overload: clears and fills `out`.  Matched payloads
+  /// are gathered branch-free per node and appended in one splice, so
+  /// this is the fastest path for callers that want the result set.
+  void search_point(const point_t& p, std::vector<std::uint64_t>& out) const {
+    out.clear();
+    traverse(
+        [&](node_id n, std::uint32_t count, std::uint8_t* ok) {
+          sweep_point(n, count, p, ok);
+        },
+        gather_into(out));
+  }
+
+  /// Visit the payload of every stored rectangle intersecting `query`.
+  /// An empty query (any inverted dimension) intersects nothing,
+  /// matching geo::rect::intersects.
+  template <typename Visitor>
+  void search_intersects(const rect_t& query, Visitor&& visit) const {
+    if (query.is_empty()) return;
+    traverse(
+        [&](node_id n, std::uint32_t count, std::uint8_t* ok) {
+          sweep_rect(n, count, query, ok);
+        },
+        [&](const std::uint8_t* ok, const std::uint64_t* sv,
+            std::uint32_t count) {
+          for (std::uint32_t s = 0; s < count; ++s) {
+            if (ok[s]) visit(sv[s]);
+          }
+        });
+  }
+
+  void search_intersects(const rect_t& query,
+                         std::vector<std::uint64_t>& out) const {
+    out.clear();
+    if (query.is_empty()) return;
+    traverse(
+        [&](node_id n, std::uint32_t count, std::uint8_t* ok) {
+          sweep_rect(n, count, query, ok);
+        },
+        gather_into(out));
   }
 
   /// Branch-and-bound nearest-neighbor: the stored entry whose rectangle
@@ -206,7 +318,7 @@ class rtree {
     if (empty()) return std::nullopt;
     std::uint64_t best_payload = 0;
     double best_d2 = std::numeric_limits<double>::infinity();
-    nearest_rec(*root_, p, best_payload, best_d2);
+    nearest_rec(root_, p, best_payload, best_d2);
     return std::make_pair(best_payload, best_d2);
   }
 
@@ -218,115 +330,356 @@ class rtree {
     s.height = height();
     s.splits = splits_;
     s.reinsertions = reinsertions_;
-    collect_stats(*root_, s);
+    s.node_count = meta_.size();
+    s.bytes_allocated = bounds_.capacity() * sizeof(double) +
+                        slots_.capacity() * sizeof(std::uint64_t) +
+                        meta_.capacity() * sizeof(node_meta);
+    collect_stats(root_, s);
     return s;
   }
 
-  /// Validate the R-tree invariants of §2.2; aborts on violation.  Used by
-  /// tests after randomized insert/erase workloads.
+  /// Validate the R-tree invariants of §2.2 plus arena bookkeeping (live
+  /// node count matches the reachable tree); aborts on violation.  Used
+  /// by tests after randomized insert/erase workloads.
   void check_invariants() const {
-    check_node(*root_, /*is_root=*/true, height());
+    const std::size_t reachable = check_node(root_, /*is_root=*/true,
+                                             height());
+    DRT_ENSURE(reachable == live_nodes_);
+    DRT_ENSURE(live_nodes_ <= meta_.size());
   }
 
  private:
-  struct node;
+  static constexpr node_id knil = static_cast<node_id>(-1);
 
-  struct entry {
-    rect_t mbr = rect_t::empty();
-    std::unique_ptr<node> child;  // interior entries
-    std::uint64_t payload = 0;    // leaf entries
-  };
-
-  struct node {
-    explicit node(bool is_leaf) : leaf(is_leaf) {}
-    bool leaf;
-    std::vector<entry> entries;
+  struct node_meta {
+    std::uint32_t count = 0;
+    std::uint32_t next_free = knil;
+    std::uint8_t leaf = 0;
   };
 
   rtree_config config_;
-  std::unique_ptr<node> root_;
+  std::uint32_t cap_ = 0;  ///< slots per node: max_fill + 1 overflow slot
+  // The arena: parallel slabs indexed by node id.  bounds_ holds one
+  // block of 2*D*cap_ doubles per node (per dimension: cap_ contiguous
+  // lows, then cap_ contiguous highs); slots_ holds cap_ values per node
+  // (leaf payload or child node id); meta_ holds the header.
+  std::vector<node_meta> meta_;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> slots_;
+  node_id free_head_ = knil;
+  std::size_t live_nodes_ = 0;
+  node_id root_ = knil;
   std::size_t size_ = 0;
   std::size_t splits_ = 0;
   std::size_t reinsertions_ = 0;
   std::vector<bool> reinserted_levels_;  // R*: one forced reinsert per level
+  // Reused traversal scratch: queries never allocate once the buffer has
+  // grown to arena size (it is sized for the worst-case DFS plus one
+  // slot of branch-free speculative-write slack per push); inserts reuse
+  // a small pool of path buffers (insert_entry re-enters through R*
+  // reinsertion and condense).
+  mutable std::unique_ptr<node_id[]> stack_buf_;
+  mutable std::size_t stack_cap_ = 0;
+  // A deque, deliberately: acquire_path() hands out references that stay
+  // live across nested acquire_path() calls (insert_entry re-enters via
+  // R* reinsertion and condense), and deque growth never invalidates
+  // references to existing elements.
+  std::deque<std::vector<node_id>> path_pool_;
+  std::size_t path_depth_ = 0;
 
-  static rect_t mbr_of(const node& n) {
-    auto r = rect_t::empty();
-    for (const auto& e : n.entries) r = join(r, e.mbr);
+  node_id* ensure_stack() const {
+    if (stack_cap_ < live_nodes_ + 2) {
+      stack_cap_ = std::max<std::size_t>(live_nodes_ + 2, 2 * stack_cap_);
+      stack_buf_.reset(new node_id[stack_cap_]);
+    }
+    return stack_buf_.get();
+  }
+
+  // ------------------------------------------------------ arena access
+
+  const double* lo(node_id n, std::size_t d) const {
+    return &bounds_[(static_cast<std::size_t>(n) * 2 * D + 2 * d) * cap_];
+  }
+  const double* hi(node_id n, std::size_t d) const {
+    return &bounds_[(static_cast<std::size_t>(n) * 2 * D + 2 * d + 1) * cap_];
+  }
+  double* lo(node_id n, std::size_t d) {
+    return &bounds_[(static_cast<std::size_t>(n) * 2 * D + 2 * d) * cap_];
+  }
+  double* hi(node_id n, std::size_t d) {
+    return &bounds_[(static_cast<std::size_t>(n) * 2 * D + 2 * d + 1) * cap_];
+  }
+  const std::uint64_t* slots(node_id n) const {
+    return &slots_[static_cast<std::size_t>(n) * cap_];
+  }
+  std::uint64_t* slots(node_id n) {
+    return &slots_[static_cast<std::size_t>(n) * cap_];
+  }
+  node_id child_of(node_id n, std::uint32_t s) const {
+    return static_cast<node_id>(slots(n)[s]);
+  }
+
+  node_id alloc_node(bool leaf) {
+    node_id n;
+    if (free_head_ != knil) {
+      n = free_head_;
+      free_head_ = meta_[n].next_free;
+    } else {
+      n = static_cast<node_id>(meta_.size());
+      meta_.emplace_back();
+      bounds_.resize(bounds_.size() + 2 * D * cap_);
+      slots_.resize(slots_.size() + cap_);
+    }
+    meta_[n] = node_meta{0, knil, leaf ? std::uint8_t{1} : std::uint8_t{0}};
+    ++live_nodes_;
+    return n;
+  }
+
+  void free_node(node_id n) {
+    meta_[n].count = 0;
+    meta_[n].next_free = free_head_;
+    free_head_ = n;
+    --live_nodes_;
+  }
+
+  rect_t slot_mbr(node_id n, std::uint32_t s) const {
+    rect_t r;
+    for (std::size_t d = 0; d < D; ++d) {
+      r.lo[d] = lo(n, d)[s];
+      r.hi[d] = hi(n, d)[s];
+    }
     return r;
   }
 
+  void set_slot_mbr(node_id n, std::uint32_t s, const rect_t& r) {
+    for (std::size_t d = 0; d < D; ++d) {
+      lo(n, d)[s] = r.lo[d];
+      hi(n, d)[s] = r.hi[d];
+    }
+  }
+
+  void push_slot(node_id n, const rect_t& r, std::uint64_t value) {
+    const std::uint32_t s = meta_[n].count;
+    DRT_ENSURE(s < cap_);
+    set_slot_mbr(n, s, r);
+    slots(n)[s] = value;
+    meta_[n].count = s + 1;
+  }
+
+  /// Remove slot s, shifting later slots left (preserves entry order —
+  /// the Guttman algorithms are order-sensitive).
+  void remove_slot(node_id n, std::uint32_t s) {
+    const std::uint32_t count = meta_[n].count;
+    for (std::uint32_t i = s + 1; i < count; ++i) {
+      for (std::size_t d = 0; d < D; ++d) {
+        lo(n, d)[i - 1] = lo(n, d)[i];
+        hi(n, d)[i - 1] = hi(n, d)[i];
+      }
+      slots(n)[i - 1] = slots(n)[i];
+    }
+    meta_[n].count = count - 1;
+  }
+
+  rect_t node_mbr(node_id n) const {
+    auto r = rect_t::empty();
+    const std::uint32_t count = meta_[n].count;
+    for (std::uint32_t s = 0; s < count; ++s) r = join(r, slot_mbr(n, s));
+    return r;
+  }
+
+  std::vector<node_id>& acquire_path() {
+    if (path_depth_ == path_pool_.size()) path_pool_.emplace_back();
+    auto& p = path_pool_[path_depth_++];
+    p.clear();
+    return p;
+  }
+  void release_path() { --path_depth_; }
+
+  // ------------------------------------------------------- hot sweeps
+
+  /// The one DFS body behind all four query entry points.  `sweep`
+  /// fills ok[0..count) for a node; `leaf` consumes the matched slots
+  /// of a leaf.  Children are pushed in reverse with branch-free
+  /// speculative writes (the stack is sized for the whole arena plus
+  /// one slot of slack), so nodes pop in slot order — the same
+  /// pre-order DFS as the recursive formulation.
+  template <typename Sweep, typename Leaf>
+  void traverse(Sweep&& sweep, Leaf&& leaf) const {
+    node_id* const base = ensure_stack();
+    node_id* sp = base;
+    *sp++ = root_;
+    std::size_t visited = 0;
+    std::uint8_t ok[64];
+    while (sp != base) {
+      const node_id n = *--sp;
+      ++visited;
+      const std::uint32_t count = meta_[n].count;
+      sweep(n, count, ok);
+      const std::uint64_t* sv = slots(n);
+      if (meta_[n].leaf) {
+        leaf(ok, sv, count);
+      } else {
+        for (std::uint32_t s = count; s > 0; --s) {
+          *sp = static_cast<node_id>(sv[s - 1]);
+          sp += ok[s - 1];
+        }
+      }
+    }
+    last_nodes_visited += visited;
+  }
+
+  /// Leaf consumer for the buffer overloads: gathers matched payloads
+  /// branch-free into a local staging array, then appends in one splice.
+  static auto gather_into(std::vector<std::uint64_t>& out) {
+    return [&out](const std::uint8_t* ok, const std::uint64_t* sv,
+                  std::uint32_t count) {
+      std::uint64_t tmp[64];
+      std::size_t k = 0;
+      for (std::uint32_t s = 0; s < count; ++s) {
+        tmp[k] = sv[s];
+        k += ok[s];
+      }
+      out.insert(out.end(), tmp, tmp + k);
+    };
+  }
+
+  /// ok[s] = 1 iff slot s's rectangle contains p.  One branch-free pass
+  /// per dimension over the contiguous lows/highs; the compiler turns
+  /// each pass into packed compares.
+  void sweep_point(node_id n, std::uint32_t count, const point_t& p,
+                   std::uint8_t* ok) const {
+    {
+      const double* lo_d = lo(n, 0);
+      const double* hi_d = hi(n, 0);
+      const double v = p[0];
+      for (std::uint32_t s = 0; s < count; ++s) {
+        ok[s] = static_cast<std::uint8_t>(
+            static_cast<unsigned>(v >= lo_d[s]) &
+            static_cast<unsigned>(v <= hi_d[s]));
+      }
+    }
+    for (std::size_t d = 1; d < D; ++d) {
+      const double* lo_d = lo(n, d);
+      const double* hi_d = hi(n, d);
+      const double v = p[d];
+      for (std::uint32_t s = 0; s < count; ++s) {
+        ok[s] &= static_cast<std::uint8_t>(
+            static_cast<unsigned>(v >= lo_d[s]) &
+            static_cast<unsigned>(v <= hi_d[s]));
+      }
+    }
+  }
+
+  /// ok[s] = 1 iff slot s's rectangle intersects q, exactly matching
+  /// geo::rect::intersects: the query side is pre-screened by the
+  /// callers' is_empty() guard, and the slot side carries an explicit
+  /// lo <= hi validity factor so a stored rect inverted in any one
+  /// dimension (empty by convention) never reports a hit.
+  void sweep_rect(node_id n, std::uint32_t count, const rect_t& q,
+                  std::uint8_t* ok) const {
+    {
+      const double* lo_d = lo(n, 0);
+      const double* hi_d = hi(n, 0);
+      const double qlo = q.lo[0];
+      const double qhi = q.hi[0];
+      for (std::uint32_t s = 0; s < count; ++s) {
+        ok[s] = static_cast<std::uint8_t>(
+            static_cast<unsigned>(qhi >= lo_d[s]) &
+            static_cast<unsigned>(qlo <= hi_d[s]) &
+            static_cast<unsigned>(lo_d[s] <= hi_d[s]));
+      }
+    }
+    for (std::size_t d = 1; d < D; ++d) {
+      const double* lo_d = lo(n, d);
+      const double* hi_d = hi(n, d);
+      const double qlo = q.lo[d];
+      const double qhi = q.hi[d];
+      for (std::uint32_t s = 0; s < count; ++s) {
+        ok[s] &= static_cast<std::uint8_t>(
+            static_cast<unsigned>(qhi >= lo_d[s]) &
+            static_cast<unsigned>(qlo <= hi_d[s]) &
+            static_cast<unsigned>(lo_d[s] <= hi_d[s]));
+      }
+    }
+  }
+
+  // --------------------------------------------------------- mutation
+
   /// Bulk-load helper: STR can leave the last packed node of a run below
   /// min_fill; rebalance it with its predecessor (both end up >= m).
-  static void fix_min_fill(std::vector<std::unique_ptr<node>>& level,
-                           std::size_t min_fill) {
+  void fix_min_fill(std::vector<node_id>& level) {
     if (level.size() < 2) return;  // a lone root is exempt
-    auto& last = *level.back();
-    auto& prev = *level[level.size() - 2];
-    while (last.entries.size() < min_fill &&
-           prev.entries.size() > min_fill) {
-      last.entries.push_back(std::move(prev.entries.back()));
-      prev.entries.pop_back();
+    const node_id last = level.back();
+    const node_id prev = level[level.size() - 2];
+    while (meta_[last].count < config_.min_fill &&
+           meta_[prev].count > config_.min_fill) {
+      const std::uint32_t s = meta_[prev].count - 1;
+      push_slot(last, slot_mbr(prev, s), slots(prev)[s]);
+      meta_[prev].count = s;
     }
-    if (last.entries.size() < min_fill) {
+    if (meta_[last].count < config_.min_fill) {
       // Predecessor cannot donate: merge the two nodes (stays <= M
       // because min_fill <= M/2).
-      for (auto& e : last.entries) prev.entries.push_back(std::move(e));
+      const std::uint32_t n = meta_[last].count;
+      for (std::uint32_t s = 0; s < n; ++s) {
+        push_slot(prev, slot_mbr(last, s), slots(last)[s]);
+      }
+      free_node(last);
       level.pop_back();
     }
   }
 
-  std::size_t height_of(const node& n) const {
-    if (n.leaf) return 1;
-    DRT_ENSURE(!n.entries.empty());
-    return 1 + height_of(*n.entries.front().child);
-  }
-
   /// Guttman ChooseLeaf / R* ChooseSubtree descent to `target_level`
   /// levels above the leaves (0 = leaf).
-  node* choose_node(const rect_t& r, std::size_t target_level,
-                    std::vector<node*>& path) {
-    node* current = root_.get();
+  node_id choose_node(const rect_t& r, std::size_t target_level,
+                      std::vector<node_id>& path) {
+    node_id current = root_;
     std::size_t level = height() - 1;  // levels above leaf of `current`
     path.clear();
-    while (!current->leaf && level > target_level) {
+    while (!meta_[current].leaf && level > target_level) {
       path.push_back(current);
-      entry* best = nullptr;
+      const std::uint32_t count = meta_[current].count;
+      std::uint32_t best = 0;
+      bool found = false;
       double best_enlargement = std::numeric_limits<double>::infinity();
       double best_area = std::numeric_limits<double>::infinity();
-      for (auto& e : current->entries) {
-        const double grow = e.mbr.enlargement(r);
-        const double area = e.mbr.area();
+      for (std::uint32_t s = 0; s < count; ++s) {
+        const rect_t m = slot_mbr(current, s);
+        const double grow = m.enlargement(r);
+        const double area = m.area();
         if (grow < best_enlargement ||
             (grow == best_enlargement && area < best_area)) {
           best_enlargement = grow;
           best_area = area;
-          best = &e;
+          best = s;
+          found = true;
         }
       }
-      DRT_ENSURE(best != nullptr);
-      current = best->child.get();
+      DRT_ENSURE(found);
+      current = child_of(current, best);
       --level;
     }
     return current;
   }
 
-  void insert_entry(entry e, std::size_t target_level) {
-    std::vector<node*> path;
-    node* target = choose_node(e.mbr, target_level, path);
-    target->entries.push_back(std::move(e));
+  void insert_entry(const rect_t& r, std::uint64_t value,
+                    std::size_t target_level) {
+    auto& path = acquire_path();
+    const node_id target = choose_node(r, target_level, path);
+    push_slot(target, r, value);
     handle_overflow(target, path, target_level);
+    release_path();
   }
 
-  void handle_overflow(node* n, std::vector<node*>& path,
+  void handle_overflow(node_id n, std::vector<node_id>& path,
                        std::size_t level) {
-    if (n->entries.size() <= config_.max_fill) {
+    if (meta_[n].count <= config_.max_fill) {
       adjust_path_mbrs(path);
       return;
     }
     // R* forced reinsertion: once per level per top-level insertion.
     if (config_.rstar_reinsert && level < reinserted_levels_.size() &&
-        !reinserted_levels_[level] && n != root_.get()) {
+        !reinserted_levels_[level] && n != root_) {
       reinserted_levels_[level] = true;
       reinsert_some(n, path, level);
       return;
@@ -336,9 +689,20 @@ class rtree {
 
   /// R* forced reinsert: remove the `reinsert_fraction` of entries whose
   /// centers are farthest from the node's MBR center and reinsert them.
-  void reinsert_some(node* n, std::vector<node*>& path, std::size_t level) {
-    const auto center = mbr_of(*n).center();
-    auto distance2 = [&](const entry& e) {
+  void reinsert_some(node_id n, std::vector<node_id>& path,
+                     std::size_t level) {
+    const auto center = node_mbr(n).center();
+    struct ent {
+      rect_t mbr;
+      std::uint64_t val;
+    };
+    std::vector<ent> entries;  // cold path; reinsertion recurses anyway
+    const std::uint32_t count_all = meta_[n].count;
+    entries.reserve(count_all);
+    for (std::uint32_t s = 0; s < count_all; ++s) {
+      entries.push_back({slot_mbr(n, s), slots(n)[s]});
+    }
+    auto distance2 = [&](const ent& e) {
       const auto c = e.mbr.center();
       double d2 = 0.0;
       for (std::size_t i = 0; i < D; ++i) {
@@ -347,233 +711,218 @@ class rtree {
       }
       return d2;
     };
-    std::stable_sort(n->entries.begin(), n->entries.end(),
-                     [&](const entry& a, const entry& b) {
+    std::stable_sort(entries.begin(), entries.end(),
+                     [&](const ent& a, const ent& b) {
                        return distance2(a) > distance2(b);
                      });
     auto count = static_cast<std::size_t>(
-        config_.reinsert_fraction * static_cast<double>(n->entries.size()));
+        config_.reinsert_fraction * static_cast<double>(entries.size()));
     count = std::max<std::size_t>(1, count);
-    std::vector<entry> removed;
-    removed.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      removed.push_back(std::move(n->entries[i]));
+    // The node keeps the remainder, in far-to-near order (the stable
+    // sort's tail), exactly as the entry-vector formulation left it.
+    meta_[n].count = 0;
+    for (std::size_t i = count; i < entries.size(); ++i) {
+      push_slot(n, entries[i].mbr, entries[i].val);
     }
-    n->entries.erase(n->entries.begin(),
-                     n->entries.begin() + static_cast<std::ptrdiff_t>(count));
     adjust_path_mbrs(path);
-    reinsertions_ += removed.size();
+    reinsertions_ += count;
     // Far-first reinsertion order (the R* paper's "distant" variant).
-    for (auto& e : removed) insert_entry(std::move(e), level);
+    for (std::size_t i = 0; i < count; ++i) {
+      insert_entry(entries[i].mbr, entries[i].val, level);
+    }
   }
 
-  void split_node(node* n, std::vector<node*>& path, std::size_t level) {
+  void split_node(node_id n, std::vector<node_id>& path, std::size_t level) {
     ++splits_;
-    // Pack entries for the policy; handles index back into `n->entries`.
-    std::vector<split_entry<D>> packed(n->entries.size());
-    for (std::size_t i = 0; i < n->entries.size(); ++i) {
-      packed[i] = {n->entries[i].mbr, i};
+    const std::uint32_t count = meta_[n].count;
+    // Pack entries for the policy; handles index back into the slots.
+    std::vector<split_entry<D>> packed(count);
+    std::array<std::pair<rect_t, std::uint64_t>, 64> ents;
+    for (std::uint32_t s = 0; s < count; ++s) {
+      ents[s] = {slot_mbr(n, s), slots(n)[s]};
+      packed[s] = {ents[s].first, s};
     }
     auto outcome = split_entries<D>(std::move(packed), config_.min_fill,
                                     config_.method);
 
-    auto take = [&](const std::vector<split_entry<D>>& group) {
-      std::vector<entry> out;
-      out.reserve(group.size());
-      for (const auto& se : group) {
-        out.push_back(std::move(n->entries[se.handle]));
-      }
-      return out;
-    };
-    auto left_entries = take(outcome.left);
-    auto right_entries = take(outcome.right);
+    meta_[n].count = 0;
+    for (const auto& se : outcome.left) {
+      const auto& e = ents[static_cast<std::size_t>(se.handle)];
+      push_slot(n, e.first, e.second);
+    }
+    const node_id sibling = alloc_node(meta_[n].leaf != 0);
+    for (const auto& se : outcome.right) {
+      const auto& e = ents[static_cast<std::size_t>(se.handle)];
+      push_slot(sibling, e.first, e.second);
+    }
 
-    auto sibling = std::make_unique<node>(n->leaf);
-    sibling->entries = std::move(right_entries);
-    n->entries = std::move(left_entries);
-
-    if (n == root_.get()) {
+    if (n == root_) {
       // Grow the tree: new root with the two halves as children.
-      auto new_root = std::make_unique<node>(/*leaf=*/false);
-      entry left_e;
-      left_e.mbr = mbr_of(*root_);
-      left_e.child = std::move(root_);
-      entry right_e;
-      right_e.mbr = mbr_of(*sibling);
-      right_e.child = std::move(sibling);
-      new_root->entries.push_back(std::move(left_e));
-      new_root->entries.push_back(std::move(right_e));
-      root_ = std::move(new_root);
+      const node_id new_root = alloc_node(/*leaf=*/false);
+      push_slot(new_root, node_mbr(n), n);
+      push_slot(new_root, node_mbr(sibling), sibling);
+      root_ = new_root;
       reinserted_levels_.assign(height(), false);
       return;
     }
 
-    node* parent = path.back();
+    const node_id parent = path.back();
     path.pop_back();
     // Refresh the parent's entry for n and add the sibling.
-    for (auto& e : parent->entries) {
-      if (e.child.get() == n) {
-        e.mbr = mbr_of(*n);
+    const std::uint32_t pcount = meta_[parent].count;
+    for (std::uint32_t s = 0; s < pcount; ++s) {
+      if (child_of(parent, s) == n) {
+        set_slot_mbr(parent, s, node_mbr(n));
         break;
       }
     }
-    entry sibling_e;
-    sibling_e.mbr = mbr_of(*sibling);
-    sibling_e.child = std::move(sibling);
-    parent->entries.push_back(std::move(sibling_e));
+    push_slot(parent, node_mbr(sibling), sibling);
     handle_overflow(parent, path, level + 1);
   }
 
-  void adjust_path_mbrs(std::vector<node*>& path) {
+  void adjust_path_mbrs(std::vector<node_id>& path) {
     // Recompute MBRs bottom-up along the insertion path.
     for (std::size_t i = path.size(); i > 0; --i) {
-      node* n = path[i - 1];
-      for (auto& e : n->entries) {
-        if (e.child) e.mbr = mbr_of(*e.child);
+      const node_id n = path[i - 1];
+      const std::uint32_t count = meta_[n].count;
+      for (std::uint32_t s = 0; s < count; ++s) {
+        set_slot_mbr(n, s, node_mbr(child_of(n, s)));
       }
     }
   }
 
-  void find_leaf(node& n, const rect_t& r, std::uint64_t payload,
-                 std::vector<node*>& path, node*& found) {
-    if (n.leaf) {
-      for (const auto& e : n.entries) {
-        if (e.payload == payload && e.mbr == r) {
-          found = &n;
+  void find_leaf(node_id n, const rect_t& r, std::uint64_t payload,
+                 std::vector<node_id>& path, node_id& found) const {
+    const std::uint32_t count = meta_[n].count;
+    if (meta_[n].leaf) {
+      for (std::uint32_t s = 0; s < count; ++s) {
+        if (slots(n)[s] == payload && slot_mbr(n, s) == r) {
+          found = n;
           return;
         }
       }
       return;
     }
-    path.push_back(&n);
-    for (auto& e : n.entries) {
-      if (e.mbr.contains(r)) {
-        find_leaf(*e.child, r, payload, path, found);
-        if (found != nullptr) return;
+    path.push_back(n);
+    for (std::uint32_t s = 0; s < count; ++s) {
+      if (slot_mbr(n, s).contains(r)) {
+        find_leaf(child_of(n, s), r, payload, path, found);
+        if (found != knil) return;
       }
     }
     path.pop_back();
   }
 
-  void condense(std::vector<node*>& path) {
+  void condense(std::vector<node_id>& path) {
     // Walk the recorded root->leaf path bottom-up; dissolve underfull
     // children and queue the *leaf* entries of their subtrees for
     // reinsertion.  (Guttman reinserts whole subtrees at matching levels;
     // reinserting leaf entries is the standard simplification — it only
     // costs extra reinsertion work, never correctness, and sidesteps
     // level bookkeeping while the tree height is in flux.)
-    std::vector<entry> orphans;
+    std::vector<std::pair<rect_t, std::uint64_t>> orphans;
     for (std::size_t i = path.size(); i > 0; --i) {
-      node* n = path[i - 1];
-      for (std::size_t c = 0; c < n->entries.size();) {
-        node* child = n->entries[c].child.get();
-        if (child != nullptr && child->entries.size() < config_.min_fill) {
-          collect_leaf_entries(std::move(n->entries[c].child), orphans);
-          n->entries.erase(n->entries.begin() +
-                           static_cast<std::ptrdiff_t>(c));
+      const node_id n = path[i - 1];
+      for (std::uint32_t c = 0; c < meta_[n].count;) {
+        const node_id child = child_of(n, c);
+        if (meta_[child].count < config_.min_fill) {
+          collect_leaf_entries(child, orphans);
+          remove_slot(n, c);
         } else {
-          if (child != nullptr) n->entries[c].mbr = mbr_of(*child);
+          set_slot_mbr(n, c, node_mbr(child));
           ++c;
         }
       }
     }
     // If every child of the root dissolved, restart from an empty leaf.
-    if (!root_->leaf && root_->entries.empty()) {
-      root_ = std::make_unique<node>(/*leaf=*/true);
+    if (!meta_[root_].leaf && meta_[root_].count == 0) {
+      free_node(root_);
+      root_ = alloc_node(/*leaf=*/true);
     }
     reinserted_levels_.assign(height(), false);
-    for (auto& orphan : orphans) insert_entry(std::move(orphan), 0);
+    for (const auto& [r, payload] : orphans) insert_entry(r, payload, 0);
   }
 
-  void collect_leaf_entries(std::unique_ptr<node> n,
-                            std::vector<entry>& out) {
-    if (n->leaf) {
-      for (auto& e : n->entries) out.push_back(std::move(e));
-      return;
-    }
-    for (auto& e : n->entries) collect_leaf_entries(std::move(e.child), out);
-  }
-
-  void search_point_rec(const node& n, const point_t& p,
-                        std::vector<std::uint64_t>& out) const {
-    ++last_nodes_visited;
-    for (const auto& e : n.entries) {
-      if (!e.mbr.contains(p)) continue;
-      if (n.leaf) {
-        out.push_back(e.payload);
-      } else {
-        search_point_rec(*e.child, p, out);
+  /// Collects the leaf entries of the subtree at n and returns its nodes
+  /// to the free list.
+  void collect_leaf_entries(
+      node_id n, std::vector<std::pair<rect_t, std::uint64_t>>& out) {
+    const std::uint32_t count = meta_[n].count;
+    if (meta_[n].leaf) {
+      for (std::uint32_t s = 0; s < count; ++s) {
+        out.emplace_back(slot_mbr(n, s), slots(n)[s]);
+      }
+    } else {
+      for (std::uint32_t s = 0; s < count; ++s) {
+        collect_leaf_entries(child_of(n, s), out);
       }
     }
+    free_node(n);
   }
 
-  void nearest_rec(const node& n, const point_t& p,
-                   std::uint64_t& best_payload, double& best_d2) const {
+  void nearest_rec(node_id n, const point_t& p, std::uint64_t& best_payload,
+                   double& best_d2) const {
     // Visit entries in MINDIST order; prune subtrees that cannot beat
-    // the best so far.
-    std::vector<std::pair<double, const entry*>> order;
-    order.reserve(n.entries.size());
-    for (const auto& e : n.entries) {
-      order.emplace_back(e.mbr.min_dist2(p), &e);
+    // the best so far.  The node fan-out is < 64, so the order buffer
+    // lives on the stack.
+    std::array<std::pair<double, std::uint32_t>, 64> order;
+    const std::uint32_t count = meta_[n].count;
+    for (std::uint32_t s = 0; s < count; ++s) {
+      order[s] = {slot_mbr(n, s).min_dist2(p), s};
     }
-    std::sort(order.begin(), order.end(),
+    std::sort(order.begin(), order.begin() + count,
               [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (const auto& [d2, e] : order) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto [d2, s] = order[i];
       if (d2 >= best_d2) break;  // sorted: the rest cannot win either
-      if (n.leaf) {
+      if (meta_[n].leaf) {
         best_d2 = d2;
-        best_payload = e->payload;
+        best_payload = slots(n)[s];
       } else {
-        nearest_rec(*e->child, p, best_payload, best_d2);
+        nearest_rec(child_of(n, s), p, best_payload, best_d2);
       }
     }
   }
 
-  void search_intersects_rec(const node& n, const rect_t& query,
-                             std::vector<std::uint64_t>& out) const {
-    ++last_nodes_visited;
-    for (const auto& e : n.entries) {
-      if (!e.mbr.intersects(query)) continue;
-      if (n.leaf) {
-        out.push_back(e.payload);
-      } else {
-        search_intersects_rec(*e.child, query, out);
-      }
-    }
-  }
-
-  void collect_stats(const node& n, rtree_stats& s) const {
+  void collect_stats(node_id n, rtree_stats& s) const {
     ++s.nodes;
-    if (n.leaf) {
+    if (meta_[n].leaf) {
       ++s.leaves;
       return;
     }
-    s.interior_area += mbr_of(n).area();
-    for (std::size_t i = 0; i < n.entries.size(); ++i) {
-      for (std::size_t j = i + 1; j < n.entries.size(); ++j) {
-        s.interior_overlap +=
-            n.entries[i].mbr.overlap_area(n.entries[j].mbr);
+    s.interior_area += node_mbr(n).area();
+    const std::uint32_t count = meta_[n].count;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      for (std::uint32_t j = i + 1; j < count; ++j) {
+        s.interior_overlap += slot_mbr(n, i).overlap_area(slot_mbr(n, j));
       }
     }
-    for (const auto& e : n.entries) collect_stats(*e.child, s);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      collect_stats(child_of(n, i), s);
+    }
   }
 
-  void check_node(const node& n, bool is_root, std::size_t levels_left) const {
+  std::size_t check_node(node_id n, bool is_root,
+                         std::size_t levels_left) const {
+    const std::uint32_t count = meta_[n].count;
     if (is_root) {
-      if (!n.leaf) DRT_ENSURE(n.entries.size() >= 2);
+      if (!meta_[n].leaf) DRT_ENSURE(count >= 2);
     } else {
-      DRT_ENSURE(n.entries.size() >= config_.min_fill);
+      DRT_ENSURE(count >= config_.min_fill);
     }
-    DRT_ENSURE(n.entries.size() <= config_.max_fill);
-    if (n.leaf) {
+    DRT_ENSURE(count <= config_.max_fill);
+    if (meta_[n].leaf) {
       DRT_ENSURE(levels_left == 1);  // all leaves at the same depth
-      return;
+      return 1;
     }
-    for (const auto& e : n.entries) {
-      DRT_ENSURE(e.child != nullptr);
-      DRT_ENSURE(e.mbr == mbr_of(*e.child));  // MBR exactness
-      check_node(*e.child, false, levels_left - 1);
+    std::size_t reachable = 1;
+    for (std::uint32_t s = 0; s < count; ++s) {
+      const node_id child = child_of(n, s);
+      DRT_ENSURE(child < meta_.size());
+      DRT_ENSURE(slot_mbr(n, s) == node_mbr(child));  // MBR exactness
+      reachable += check_node(child, false, levels_left - 1);
     }
+    return reachable;
   }
 };
 

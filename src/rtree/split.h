@@ -35,7 +35,10 @@ inline const char* to_string(split_method m) {
 }
 
 /// One element of the set being split: an MBR plus an opaque handle the
-/// caller uses to identify the child/object.
+/// caller uses to identify the child/object.  The arena-backed R-tree
+/// passes the entry's slot index within the overflowing node; the DR-tree
+/// overlay passes peer ids.  Policies only ever group handles — they
+/// never interpret them — so the same code serves both representations.
 template <std::size_t D>
 struct split_entry {
   geo::rect<D> mbr;

@@ -152,6 +152,37 @@ TEST(DrtreeBackend, DynamicOpsRoundTrip) {
   EXPECT_GT(be.counters().messages, 0u);
 }
 
+TEST(DrtreeBackend, RestartAfterUnsubscribeKeepsGroundTruthExact) {
+  // An unsubscribed peer leaves the overlay's ground-truth filter index;
+  // a later restart of that same sub_id (the backend API permits it)
+  // must re-index the filter, or publish accounting silently undercounts
+  // interested/false negatives.
+  drtree_backend be(small_config(29));
+  scenario_runner runner(be);
+  const auto ids = runner.populate(8);
+  ASSERT_EQ(ids.size(), 8u);
+  EXPECT_GE(runner.converge(200), 0);
+
+  const auto victim = ids[2];
+  const auto filter =
+      be.overlay().peer(static_cast<spatial::peer_id>(victim)).filter();
+  EXPECT_TRUE(be.unsubscribe(victim));
+  EXPECT_FALSE(be.alive(victim));
+  EXPECT_TRUE(be.restart(victim));
+  EXPECT_TRUE(be.alive(victim));
+  EXPECT_GE(runner.converge(300), 0);
+
+  // Publish into the revived peer's filter: ground truth must count it.
+  const auto r = be.publish(ids[0], filter.center());
+  std::size_t expected = 0;
+  be.overlay().for_each_live([&](spatial::peer_id p) {
+    if (be.overlay().peer(p).filter().contains(filter.center())) ++expected;
+    return true;
+  });
+  EXPECT_GE(expected, 1u);  // at least the revived peer itself
+  EXPECT_EQ(r.interested, expected);
+}
+
 TEST(BaselineBackend, IncrementalRebuildSemantics) {
   baseline_backend be(std::make_unique<baselines::containment_tree>());
   const auto r0 = be.counters().rebuilds;  // the initial empty build

@@ -15,6 +15,22 @@ using geo::make_rect2;
 using geo::point2;
 using geo::rect2;
 
+// The query API is allocation-free (visitor / caller-owned buffer); these
+// helpers keep the assertions below value-style.
+template <std::size_t D>
+std::vector<std::uint64_t> hits_at(const rtree<D>& t, const geo::point<D>& p) {
+  std::vector<std::uint64_t> out;
+  t.search_point(p, out);
+  return out;
+}
+
+template <std::size_t D>
+std::vector<std::uint64_t> hits_in(const rtree<D>& t, const geo::rect<D>& q) {
+  std::vector<std::uint64_t> out;
+  t.search_intersects(q, out);
+  return out;
+}
+
 rect2 random_rect(util::rng& rng, double span = 100.0, double max_side = 10.0) {
   const double x = rng.uniform_real(0, span - max_side);
   const double y = rng.uniform_real(0, span - max_side);
@@ -98,17 +114,17 @@ TEST(Rtree, EmptyTree) {
   EXPECT_TRUE(t.empty());
   EXPECT_EQ(t.size(), 0u);
   EXPECT_EQ(t.height(), 1u);
-  EXPECT_TRUE(t.search_point(point2{{0, 0}}).empty());
+  EXPECT_TRUE(hits_at(t, point2{{0, 0}}).empty());
 }
 
 TEST(Rtree, InsertAndFindSingle) {
   rtree2 t;
   t.insert(make_rect2(0, 0, 10, 10), 42);
   EXPECT_EQ(t.size(), 1u);
-  const auto hits = t.search_point(point2{{5, 5}});
+  const auto hits = hits_at(t, point2{{5, 5}});
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_EQ(hits[0], 42u);
-  EXPECT_TRUE(t.search_point(point2{{20, 20}}).empty());
+  EXPECT_TRUE(hits_at(t, point2{{20, 20}}).empty());
 }
 
 TEST(Rtree, RejectsBadConfig) {
@@ -152,7 +168,7 @@ TEST_P(RtreePolicyParam, PointQueriesMatchBruteForce) {
   t.check_invariants();
   for (int q = 0; q < 200; ++q) {
     point2 p{{rng.uniform_real(0, 100), rng.uniform_real(0, 100)}};
-    auto hits = t.search_point(p);
+    auto hits = hits_at(t, p);
     std::sort(hits.begin(), hits.end());
     std::vector<std::uint64_t> expected;
     for (std::uint64_t i = 0; i < rects.size(); ++i) {
@@ -175,7 +191,7 @@ TEST_P(RtreePolicyParam, IntersectionQueriesMatchBruteForce) {
   }
   for (int q = 0; q < 100; ++q) {
     const auto query = random_rect(rng, 100.0, 30.0);
-    auto hits = t.search_intersects(query);
+    auto hits = hits_in(t, query);
     std::sort(hits.begin(), hits.end());
     std::vector<std::uint64_t> expected;
     for (std::uint64_t i = 0; i < rects.size(); ++i) {
@@ -209,7 +225,7 @@ TEST_P(RtreePolicyParam, EraseMaintainsInvariantsAndQueries) {
   EXPECT_EQ(t.size(), 50u);
   // Erased entries are gone; surviving entries are findable.
   for (const auto& [r, id] : live) {
-    const auto hits = t.search_point(r.center());
+    const auto hits = hits_at(t, r.center());
     EXPECT_NE(std::find(hits.begin(), hits.end(), id), hits.end());
   }
 }
@@ -239,7 +255,7 @@ TEST(Rtree, EraseToEmptyAndReuse) {
   EXPECT_TRUE(t.empty());
   EXPECT_EQ(t.height(), 1u);
   t.insert(make_rect2(0, 0, 1, 1), 7);
-  EXPECT_EQ(t.search_point(point2{{0.5, 0.5}}).size(), 1u);
+  EXPECT_EQ(hits_at(t, point2{{0.5, 0.5}}).size(), 1u);
 }
 
 TEST(Rtree, DuplicateRectanglesAllRetrievable) {
@@ -247,7 +263,7 @@ TEST(Rtree, DuplicateRectanglesAllRetrievable) {
   for (std::uint64_t i = 0; i < 30; ++i) {
     t.insert(make_rect2(10, 10, 20, 20), i);
   }
-  auto hits = t.search_point(point2{{15, 15}});
+  auto hits = hits_at(t, point2{{15, 15}});
   EXPECT_EQ(hits.size(), 30u);
   t.check_invariants();
 }
@@ -263,7 +279,7 @@ TEST(Rtree, RstarReinsertionKicksIn) {
   EXPECT_GT(t.stats().reinsertions, 0u);
   // Queries still exact after reinsertions.
   point2 p{{50, 50}};
-  auto hits = t.search_point(p);
+  auto hits = hits_at(t, p);
   for (auto h : hits) EXPECT_LT(h, 400u);
 }
 
@@ -276,6 +292,35 @@ TEST(Rtree, StatsAreConsistent) {
   EXPECT_EQ(s.height, t.height());
   EXPECT_GT(s.splits, 0u);
   EXPECT_GT(s.interior_area, 0.0);
+  // Substrate footprint: the arena holds at least the reachable nodes,
+  // and bytes_allocated covers their bounds + slot + header slabs.
+  EXPECT_GE(s.node_count, s.nodes);
+  const std::size_t per_node_floor =
+      2 * 2 * (t.config().max_fill + 1) * sizeof(double);
+  EXPECT_GE(s.bytes_allocated, s.node_count * per_node_floor);
+}
+
+TEST(Rtree, ArenaRecyclesFreedNodes) {
+  // Erase-to-empty then refill: the arena must reuse free-listed nodes
+  // instead of growing without bound.
+  rtree2 t;
+  util::rng rng(53);
+  std::vector<std::pair<rect2, std::uint64_t>> live;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const auto r = random_rect(rng);
+    live.emplace_back(r, i);
+    t.insert(r, i);
+  }
+  const auto grown = t.stats().node_count;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (const auto& [r, id] : live) ASSERT_TRUE(t.erase(r, id));
+    EXPECT_TRUE(t.empty());
+    for (const auto& [r, id] : live) t.insert(r, id);
+    t.check_invariants();
+  }
+  // Reinsertion can shape the tree differently, but repeated churn must
+  // be served almost entirely from the free list.
+  EXPECT_LE(t.stats().node_count, 2 * grown);
 }
 
 TEST(Rtree, BoundingBoxCoversAll) {
@@ -354,7 +399,7 @@ TEST(BulkLoad, EmptyAndSingleton) {
   auto one = rtree2::bulk_load({{make_rect2(0, 0, 1, 1), 7}});
   EXPECT_EQ(one.size(), 1u);
   one.check_invariants();
-  EXPECT_EQ(one.search_point(point2{{0.5, 0.5}}),
+  EXPECT_EQ(hits_at(one, point2{{0.5, 0.5}}),
             std::vector<std::uint64_t>{7});
 }
 
@@ -372,7 +417,7 @@ TEST(BulkLoad, InvariantsAndQueriesMatchBruteForce) {
   t.check_invariants();
   for (int q = 0; q < 100; ++q) {
     point2 p{{rng.uniform_real(0, 100), rng.uniform_real(0, 100)}};
-    auto hits = t.search_point(p);
+    auto hits = hits_at(t, p);
     std::sort(hits.begin(), hits.end());
     std::vector<std::uint64_t> expected;
     for (const auto& [r, id] : items) {
@@ -437,7 +482,7 @@ TEST(BulkLoad, OneDimensionalDegeneratesToBPlusTreeShape) {
   geo::rect<1> range;
   range.lo[0] = 200;
   range.hi[0] = 400;
-  auto hits = t.search_intersects(range);
+  auto hits = hits_in(t, range);
   std::size_t expected = 0;
   for (const auto& k : keys) {
     if (k.lo[0] >= 200 && k.lo[0] <= 400) ++expected;
@@ -463,7 +508,7 @@ TEST(Rtree, HigherDimensionalTree) {
   for (int q = 0; q < 50; ++q) {
     geo::point3 p{{rng.uniform_real(0, 100), rng.uniform_real(0, 100),
                    rng.uniform_real(0, 100)}};
-    auto hits = t.search_point(p);
+    auto hits = hits_at(t, p);
     std::sort(hits.begin(), hits.end());
     std::vector<std::uint64_t> expected;
     for (std::uint64_t i = 0; i < rects.size(); ++i) {
