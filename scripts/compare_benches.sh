@@ -12,12 +12,13 @@
 # Every benchmark present in both sets is reported.  Only the *tier-1*
 # benches gate the exit status (DRT_TIER1_BENCHES to override): the
 # timing microbenches with statistically meaningful iteration counts
-# (sim_core, rtree_ops) plus the two end-to-end hot-path benches that
-# ride the R-tree substrate (search, latency) — single-shot iterations,
-# so capture them with repetitions and rely on the min.  Other
-# experiment benches are too noisy to gate on, but their deltas are
-# still printed.  A tier-1 bench file or benchmark missing from the
-# candidate set is a hard failure.
+# (sim_core, rtree_ops), the two end-to-end hot-path benches that
+# ride the R-tree substrate (search, latency), and the partition/heal
+# experiment (partition_stabilize) that rides the network-model send
+# path — single-shot iterations, so capture them with repetitions and
+# rely on the min.  Other experiment benches are too noisy to gate on,
+# but their deltas are still printed.  A tier-1 bench file or benchmark
+# missing from the candidate set is a hard failure.
 #
 # Run both sets with --benchmark_repetitions=5: every repetition is one
 # JSON record and the comparison takes the per-name minimum, which is
@@ -31,7 +32,7 @@ fi
 BASE_DIR="$1"
 CAND_DIR="$2"
 THRESHOLD="${3:-10}"
-TIER1="${DRT_TIER1_BENCHES:-sim_core rtree_ops search latency}"
+TIER1="${DRT_TIER1_BENCHES:-sim_core rtree_ops search latency partition_stabilize}"
 
 [ -d "$BASE_DIR" ] || { echo "baseline dir '$BASE_DIR' not found" >&2; exit 2; }
 [ -d "$CAND_DIR" ] || { echo "candidate dir '$CAND_DIR' not found" >&2; exit 2; }

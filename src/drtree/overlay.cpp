@@ -73,6 +73,13 @@ void dr_overlay::controlled_leave(peer_id p) {
 
 void dr_overlay::crash(peer_id p) { sim_.crash(p); }
 
+bool dr_overlay::partition(const std::vector<peer_id>& side_b) {
+  std::vector<sim::process_id> ids;
+  ids.reserve(side_b.size());
+  for (const auto p : side_b) ids.push_back(static_cast<sim::process_id>(p));
+  return sim_.partition(ids);
+}
+
 void dr_overlay::restart(peer_id p) {
   DRT_EXPECT(!alive(p));
   if (departed_.erase(p) > 0) {
@@ -120,7 +127,33 @@ peer_id dr_overlay::current_root() const {
 peer_id dr_overlay::contact_node(peer_id asking) const {
   if (oracle == oracle_mode::root) {
     const auto root = current_root();
-    if (root != kNoPeer && root != asking) return root;
+    if (root != kNoPeer && root != asking && reachable(asking, root)) {
+      return root;
+    }
+  }
+  if (partitioned()) {
+    // Split-brain directory: the oracle can only name peers on the
+    // asking side of the cut (an out-of-band directory is partitioned
+    // along with everything else).  Separate path so the
+    // no-partition draw sequence below stays byte-identical.
+    std::size_t candidates = 0;
+    for_each_live([&](peer_id id) {
+      if (id != asking && reachable(asking, id)) ++candidates;
+    });
+    if (candidates == 0) return kNoPeer;
+    auto& rng = const_cast<dr_overlay*>(this)->sim_.rng();
+    std::size_t k = rng.index(candidates);
+    peer_id chosen = kNoPeer;
+    for_each_live([&](peer_id id) {
+      if (id == asking || !reachable(asking, id)) return true;
+      if (k == 0) {
+        chosen = id;
+        return false;
+      }
+      --k;
+      return true;
+    });
+    return chosen;
   }
   // Called on every (re)join: pick the k-th live peer != asking in id
   // order without materializing a candidate vector.  Consumes the RNG

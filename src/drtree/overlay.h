@@ -72,6 +72,32 @@ class dr_overlay {
   dr_peer& peer(spatial::peer_id p);
   const dr_peer& peer(spatial::peer_id p) const;
   bool alive(spatial::peer_id p) const { return sim_.is_alive(p); }
+
+  /// The failure-detector oracle peer protocols use: `q` is alive AND no
+  /// active network partition separates it from `p`.  With no partition
+  /// this is exactly alive(); under one, an unreachable peer is
+  /// indistinguishable from a crashed one — which is what lets each side
+  /// of a split-brain stabilize independently.
+  bool reachable(spatial::peer_id p, spatial::peer_id q) const {
+    return sim_.is_alive(q) && sim_.reachable(p, q);
+  }
+
+  // ------------------------------------------------------ network faults
+  /// Partition the overlay (requires a dynamic net model; returns false
+  /// otherwise): `side_b` against everyone else.  Cuts messages and the
+  /// reachability oracle; the contact oracle then only hands out
+  /// same-side contacts, so rejoins stay within the joiner's side.
+  bool partition(const std::vector<spatial::peer_id>& side_b);
+  bool heal_partition() { return sim_.heal_partition(); }
+  bool degrade_links(double latency_factor, double extra_loss,
+                     sim::sim_time ramp) {
+    return sim_.degrade_links(latency_factor, extra_loss, ramp);
+  }
+  /// True while a partition is installed.
+  bool partitioned() const {
+    const auto* dyn = sim_.dynamic_net();
+    return dyn != nullptr && dyn->partitioned();
+  }
   /// Allocating snapshot; prefer for_each_live()/live_count() in loops.
   std::vector<spatial::peer_id> live_peers() const;
   std::size_t live_count() const { return sim_.live_count(); }

@@ -144,7 +144,7 @@ void dr_peer::leave_with_handoff() {
     std::vector<peer_id> members;
     std::vector<box> mbrs;
     for (const auto c : ins->children) {
-      if (c == pid() || !overlay_.alive(c)) continue;
+      if (c == pid() || !sees(c)) continue;
       const auto* ci = overlay_.peer(c).find_inst(h - 1);
       if (ci == nullptr) continue;
       members.push_back(c);
@@ -172,7 +172,7 @@ void dr_peer::leave_with_handoff() {
         li.parent = leader;  // the leader becomes the new root
       } else {
         li.parent = old_parent;
-        if (old_parent != kNoPeer && overlay_.alive(old_parent)) {
+        if (old_parent != kNoPeer && sees(old_parent)) {
           if (auto* pi = overlay_.peer(old_parent).find_inst(h + 1)) {
             if (pi->remove_child(pid())) pi->add_child(leader);
             overlay_.peer(old_parent).compute_mbr(h + 1);
@@ -196,6 +196,8 @@ void dr_peer::leave_with_handoff() {
 void dr_peer::on_timer(std::uint64_t timer_type) {
   if (timer_type == kTimerStabilize) stabilize_pass();
 }
+
+bool dr_peer::sees(peer_id q) const { return overlay_.reachable(pid(), q); }
 
 void dr_peer::send_msg(peer_id to, dr_msg m) {
   if (to == kNoPeer) return;
@@ -232,7 +234,7 @@ void dr_peer::on_message(sim::process_id from, std::uint64_t /*type*/,
 
 void dr_peer::handle_join(const dr_msg& m) {
   if (m.subject == pid()) return;  // own probe came back around
-  if (!overlay_.alive(m.subject)) return;
+  if (!sees(m.subject)) return;
   if (m.hops_left == 0) return;  // stabilization will retry
 
   if (m.descending) {
@@ -244,7 +246,7 @@ void dr_peer::handle_join(const dr_msg& m) {
   // recursively redirected upward the tree until it reaches the root").
   if (!is_root() && overlay_.config().join_via_root) {
     const auto parent = inst(top()).parent;
-    if (parent != kNoPeer && parent != pid() && overlay_.alive(parent)) {
+    if (parent != kNoPeer && parent != pid() && sees(parent)) {
       dr_msg fwd = m;
       --fwd.hops_left;
       send_msg(parent, fwd);
@@ -316,7 +318,7 @@ peer_id dr_peer::choose_best_child(std::size_t h, const box& r) const {
       if (lower == nullptr) continue;
       qmbr = &lower->mbr;
     } else {
-      if (!overlay_.alive(q)) continue;
+      if (!sees(q)) continue;
       const auto* lower = overlay_.peer(q).find_inst(h - 1);
       if (lower == nullptr) continue;
       qmbr = &lower->mbr;
@@ -359,7 +361,7 @@ void dr_peer::root_grow(const dr_msg& m) {
 }
 
 void dr_peer::add_child_at(std::size_t t, peer_id q, const box& q_mbr) {
-  if (q == pid() || !overlay_.alive(q)) return;
+  if (q == pid() || !sees(q)) return;
   // Stale request: the subject is no longer a subtree root of height t.
   if (overlay_.peer(q).top() != t) return;
   if (!has_instance(t + 1)) {
@@ -407,7 +409,7 @@ void dr_peer::split_and_push(std::size_t h, peer_id extra,
       if (lower == nullptr) continue;
       cmbr = &lower->mbr;
     } else {
-      if (!overlay_.alive(c)) continue;
+      if (!sees(c)) continue;
       const auto* lower = overlay_.peer(c).find_inst(h - 1);
       if (lower == nullptr) continue;
       cmbr = &lower->mbr;
@@ -535,7 +537,7 @@ double dr_peer::coverage_area(const box& b) const {
 bool dr_peer::is_better_mbr_cover(std::size_t h, peer_id q) const {
   // Is_Better_MBR_Cover(p, q, l): compare q's MBR with this peer's own
   // lower-instance MBR (both are children at h-1).
-  if (q == pid() || !overlay_.alive(q)) return false;
+  if (q == pid() || !sees(q)) return false;
   const auto policy = overlay_.config().election;
   if (policy == election_policy::random_member) return false;
   const auto* qi = overlay_.peer(q).find_inst(h - 1);
@@ -550,7 +552,7 @@ bool dr_peer::is_better_mbr_cover(std::size_t h, peer_id q) const {
 void dr_peer::promote_child(std::size_t h, peer_id q) {
   // Adjust_Parent(p, q, l), generalized so instance chains stay
   // contiguous: q replaces this peer at every height in [h, top()].
-  if (q == pid() || !overlay_.alive(q) || !has_instance(h)) return;
+  if (q == pid() || !sees(q) || !has_instance(h)) return;
   auto& qp = overlay_.peer(q);
   const std::size_t t = top();
   for (std::size_t x = h; x <= t; ++x) {
@@ -571,7 +573,7 @@ void dr_peer::promote_child(std::size_t h, peer_id q) {
       instance* ci = nullptr;
       if (c == pid()) {
         ci = find_inst(x - 1);
-      } else if (overlay_.alive(c)) {
+      } else if (sees(c)) {
         ci = overlay_.peer(c).find_inst(x - 1);
       }
       if (ci != nullptr) ci->parent = q;
@@ -585,7 +587,7 @@ void dr_peer::promote_child(std::size_t h, peer_id q) {
     } else {
       new_parent = moved.parent;
       // Fix the (distinct) parent's membership list directly.
-      if (new_parent != kNoPeer && overlay_.alive(new_parent)) {
+      if (new_parent != kNoPeer && sees(new_parent)) {
         if (auto* up = overlay_.peer(new_parent).find_inst(x + 1)) {
           if (up->remove_child(pid())) up->add_child(q);
         }
@@ -645,7 +647,7 @@ void dr_peer::handle_initiate_new_connection(const dr_msg& m) {
   for (std::size_t x = std::min(m.h, top()); x >= 1; --x) {
     if (const auto* ins = find_inst(x)) {
       for (const auto q : ins->children) {
-        if (q == pid() || !overlay_.alive(q)) continue;
+        if (q == pid() || !sees(q)) continue;
         dr_msg fwd;
         fwd.kind = msg_kind::initiate_new_connection;
         fwd.h = x - 1;
@@ -689,7 +691,7 @@ void dr_peer::compute_mbr(std::size_t h) {
     const instance* qi = nullptr;
     if (q == pid()) {
       qi = find_inst(h - 1);
-    } else if (overlay_.alive(q)) {
+    } else if (sees(q)) {
       qi = overlay_.peer(q).find_inst(h - 1);
     }
     if (qi != nullptr) r = join(r, qi->mbr);
@@ -726,7 +728,7 @@ void dr_peer::check_parent(std::size_t h) {
 
   const auto parent = ins->parent;
   if (parent == pid()) return;  // root claim; fragment merge via probes
-  if (parent == kNoPeer || !overlay_.alive(parent)) {
+  if (parent == kNoPeer || !sees(parent)) {
     rejoin_fragment(h);
     return;
   }
@@ -749,7 +751,7 @@ void dr_peer::check_children(std::size_t h) {
       if (find_inst(h - 1) != nullptr) keep.push_back(q);
       continue;
     }
-    if (!overlay_.alive(q)) continue;
+    if (!sees(q)) continue;
     const auto* qi = overlay_.peer(q).find_inst(h - 1);
     if (qi == nullptr) continue;
     if (qi->parent != pid()) continue;  // "simply discards the child"
@@ -786,7 +788,7 @@ void dr_peer::check_children(std::size_t h) {
     if (only == pid()) {
       erase_inst(h);
       if (auto* lower = find_inst(h - 1)) lower->parent = pid();
-    } else if (overlay_.alive(only)) {
+    } else if (sees(only)) {
       if (auto* ci = overlay_.peer(only).find_inst(h - 1)) {
         ci->parent = only;
         erase_inst(h);
@@ -807,7 +809,7 @@ void dr_peer::check_cover(std::size_t h) {
   peer_id best = kNoPeer;
   double best_area = 0.0;
   for (const auto q : ins->children) {
-    if (q == pid() || !overlay_.alive(q)) continue;
+    if (q == pid() || !sees(q)) continue;
     const auto* qi = overlay_.peer(q).find_inst(h - 1);
     if (qi == nullptr) continue;
     const double a = coverage_area(qi->mbr);
@@ -841,7 +843,7 @@ peer_id dr_peer::search_compaction_candidate(std::size_t h,
     const instance* ti = nullptr;
     if (t == pid()) {
       ti = find_inst(h - 1);
-    } else if (overlay_.alive(t)) {
+    } else if (sees(t)) {
       ti = overlay_.peer(t).find_inst(h - 1);
     }
     if (ti == nullptr) continue;
@@ -919,7 +921,7 @@ void dr_peer::merge_children(std::size_t h, peer_id leader,
     instance* ci = nullptr;
     if (c == leader) {
       ci = lp.find_inst(h - 1);
-    } else if (overlay_.alive(c)) {
+    } else if (sees(c)) {
       ci = overlay_.peer(c).find_inst(h - 1);
     }
     if (ci != nullptr) ci->parent = leader;
@@ -956,7 +958,7 @@ bool dr_peer::redistribute(std::size_t h, peer_id needy) {
     peer_id donor = kNoPeer;
     instance* donor_inst = nullptr;
     for (const auto t : ins->children) {
-      if (t == needy || !overlay_.alive(t)) continue;
+      if (t == needy || !sees(t)) continue;
       auto* ti = (t == pid()) ? find_inst(h - 1)
                               : overlay_.peer(t).find_inst(h - 1);
       if (ti == nullptr || ti->children.size() <= m_min) continue;
@@ -976,7 +978,7 @@ bool dr_peer::redistribute(std::size_t h, peer_id needy) {
       if (c == donor) continue;
       const instance* ci = (c == pid())
                                ? find_inst(h - 2)
-                               : (overlay_.alive(c)
+                               : (sees(c)
                                       ? overlay_.peer(c).find_inst(h - 2)
                                       : nullptr);
       if (ci == nullptr) continue;
@@ -1029,7 +1031,7 @@ void dr_peer::check_structure(std::size_t h) {
        ++guard) {
     peer_id underloaded_child = kNoPeer;
     for (const auto q : ins->children) {
-      if (!overlay_.alive(q)) continue;
+      if (!sees(q)) continue;
       const auto* qi = (q == pid()) ? find_inst(h - 1)
                                     : overlay_.peer(q).find_inst(h - 1);
       if (qi == nullptr) continue;
@@ -1152,7 +1154,7 @@ void dr_peer::forward_down(std::size_t h, const spatial::event& ev,
       }
       continue;
     }
-    if (!overlay_.alive(q)) continue;
+    if (!sees(q)) continue;
     const auto* qi = overlay_.peer(q).find_inst(h - 1);
     if (qi == nullptr || !qi->mbr.contains(ev.value)) continue;
     dr_msg m;
@@ -1198,7 +1200,7 @@ void dr_peer::handle_event_up(peer_id from, const dr_msg& m) {
         }
         continue;
       }
-      if (!overlay_.alive(q)) continue;
+      if (!sees(q)) continue;
       const auto* qi = overlay_.peer(q).find_inst(h - 1);
       if (qi == nullptr || !qi->mbr.contains(m.ev.value)) continue;
       dr_msg down;
@@ -1304,7 +1306,7 @@ void dr_peer::handle_search_down(const dr_msg& m) {
         }
         continue;
       }
-      if (!overlay_.alive(q)) continue;
+      if (!sees(q)) continue;
       const auto* qi = overlay_.peer(q).find_inst(h - 1);
       if (qi == nullptr || !qi->mbr.intersects(m.mbr)) continue;
       dr_msg fwd = m;
@@ -1325,7 +1327,7 @@ void dr_peer::record_instance_event(std::size_t h, const spatial::event& ev) {
   ++ins->events_seen;
   if (!filter_.contains(ev.value)) ++ins->fp_self;
   for (const auto q : ins->children) {
-    if (q == pid() || !overlay_.alive(q)) continue;
+    if (q == pid() || !sees(q)) continue;
     if (!overlay_.peer(q).filter().contains(ev.value)) {
       ++ins->fp_child_would[q];
     }
@@ -1339,7 +1341,7 @@ void dr_peer::maybe_reorganize(std::size_t h) {
   peer_id best = kNoPeer;
   std::uint64_t best_fp = std::numeric_limits<std::uint64_t>::max();
   for (const auto q : ins->children) {
-    if (q == pid() || !overlay_.alive(q)) continue;
+    if (q == pid() || !sees(q)) continue;
     if (overlay_.peer(q).find_inst(h - 1) == nullptr) continue;
     const auto it = ins->fp_child_would.find(q);
     const std::uint64_t fp = it == ins->fp_child_would.end() ? 0 : it->second;

@@ -225,6 +225,13 @@ class dr_peer : public sim::process {
   void send_msg(spatial::peer_id to, dr_msg m);
   void rejoin_fragment(std::size_t h);
 
+  /// This peer's failure detector: q is alive and no network partition
+  /// separates it from us.  Every protocol-level liveness check routes
+  /// through here (never overlay_.alive directly), so an unreachable
+  /// peer is treated exactly like a crashed one — the precondition for
+  /// honest split-brain behavior under partitions.
+  bool sees(spatial::peer_id q) const;
+
   dr_overlay& overlay_;
   spatial::box filter_;
   std::map<std::size_t, instance> levels_;

@@ -38,6 +38,8 @@ enum capability : std::uint32_t {
   cap_restart     = 1u << 2,  ///< revive a crashed sub with stale state
   cap_corruption  = 1u << 3,  ///< transient memory-corruption faults
   cap_stabilize   = 1u << 4,  ///< periodic repair rounds do real work
+  cap_partition   = 1u << 5,  ///< network partitions with later heal
+  cap_degrade     = 1u << 6,  ///< per-link degradation ramps
 };
 using capability_mask = std::uint32_t;
 
@@ -96,6 +98,26 @@ class backend {
   /// (cap_corruption); returns the number of mutations performed.
   virtual std::size_t corrupt(double rate, std::uint64_t seed) {
     (void)rate; (void)seed; return 0;
+  }
+
+  // --------------------------------------------------- network dynamics
+  /// Partition the network (cap_partition): subscriptions in `side_b`
+  /// against everyone else.  Cross-cut traffic drops and each side's
+  /// failure detectors treat the other as dead until heal().
+  virtual bool partition(const std::vector<sub_id>& side_b) {
+    (void)side_b; return false;
+  }
+
+  /// Remove the active partition (cap_partition).
+  virtual bool heal() { return false; }
+
+  /// Ramp all links to latency_factor x latency and extra_loss stacked
+  /// loss over `ramp_rounds` stabilization periods of virtual time,
+  /// then hold (cap_degrade).
+  virtual bool degrade_links(double latency_factor, double extra_loss,
+                             double ramp_rounds) {
+    (void)latency_factor; (void)extra_loss; (void)ramp_rounds;
+    return false;
   }
 
   // ------------------------------------------------------------ access

@@ -8,6 +8,7 @@
 #include "baselines/zcurve_dht.h"
 #include "drtree/checker.h"
 #include "drtree/corruptor.h"
+#include "engine/scenario.h"
 #include "util/expect.h"
 
 namespace drt::engine {
@@ -33,12 +34,57 @@ std::size_t corrupt_overlay(overlay::dr_overlay& ov, double rate,
   return vandal.corrupt(overlay::uniform_corruption(rate));
 }
 
+/// Both overlay adapters expose partition/degrade iff the sim's net
+/// model has a dynamic fault layer — capabilities are honest, never
+/// aspirational.
+capability_mask overlay_capabilities(const overlay::dr_overlay& ov) {
+  capability_mask m = cap_unsubscribe | cap_crash | cap_restart |
+                      cap_corruption | cap_stabilize;
+  if (ov.sim().dynamic_net() != nullptr) m |= cap_partition | cap_degrade;
+  return m;
+}
+
+bool partition_overlay(overlay::dr_overlay& ov,
+                       const std::vector<sub_id>& side_b) {
+  std::vector<spatial::peer_id> peers;
+  peers.reserve(side_b.size());
+  for (const auto s : side_b) {
+    peers.push_back(static_cast<spatial::peer_id>(s));
+  }
+  return ov.partition(peers);
+}
+
+bool degrade_overlay(overlay::dr_overlay& ov, double latency_factor,
+                     double extra_loss, double ramp_rounds) {
+  return ov.degrade_links(latency_factor, extra_loss,
+                          ramp_rounds * ov.config().stabilize_period);
+}
+
 }  // namespace
+
+overlay_backend_config configured_for(const scenario& sc,
+                                      overlay_backend_config base) {
+  if (sc.net.has_value()) base.net.model = *sc.net;
+  return base;
+}
 
 // ------------------------------------------------------- drtree_backend
 
 drtree_backend::drtree_backend(overlay_backend_config config)
     : overlay_(std::make_unique<overlay::dr_overlay>(config.dr, config.net)) {}
+
+capability_mask drtree_backend::capabilities() const {
+  return overlay_capabilities(*overlay_);
+}
+
+bool drtree_backend::partition(const std::vector<sub_id>& side_b) {
+  return partition_overlay(*overlay_, side_b);
+}
+
+bool drtree_backend::degrade_links(double latency_factor, double extra_loss,
+                                   double ramp_rounds) {
+  return degrade_overlay(*overlay_, latency_factor, extra_loss, ramp_rounds);
+}
 
 sub_id drtree_backend::subscribe(const spatial::box& filter) {
   return overlay_->add_peer_and_settle(filter);
@@ -125,6 +171,20 @@ broker_backend::broker_backend(overlay_backend_config config) {
   bc.dr = config.dr;
   bc.net = config.net;
   broker_ = std::make_unique<pubsub::broker>(bc);
+}
+
+capability_mask broker_backend::capabilities() const {
+  return overlay_capabilities(broker_->raw_overlay());
+}
+
+bool broker_backend::partition(const std::vector<sub_id>& side_b) {
+  return partition_overlay(broker_->raw_overlay(), side_b);
+}
+
+bool broker_backend::degrade_links(double latency_factor, double extra_loss,
+                                   double ramp_rounds) {
+  return degrade_overlay(broker_->raw_overlay(), latency_factor, extra_loss,
+                         ramp_rounds);
 }
 
 sub_id broker_backend::subscribe(const spatial::box& filter) {

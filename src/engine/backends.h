@@ -25,11 +25,19 @@
 
 namespace drt::engine {
 
+struct scenario;
+
 /// Shared configuration for the overlay-backed adapters.
 struct overlay_backend_config {
   overlay::dr_config dr{};
   sim::simulator_config net{};
 };
+
+/// The backend config a scenario calls for: `base` with the scenario's
+/// declarative net model (when it has one) installed.  Benches and
+/// tests use this so the scenario value fully determines the transport.
+overlay_backend_config configured_for(const scenario& sc,
+                                      overlay_backend_config base = {});
 
 /// The system under study: the full DR-tree protocol stack, one overlay
 /// peer per subscription.
@@ -38,16 +46,17 @@ class drtree_backend final : public backend {
   explicit drtree_backend(overlay_backend_config config = {});
 
   std::string name() const override { return "drtree"; }
-  capability_mask capabilities() const override {
-    return cap_unsubscribe | cap_crash | cap_restart | cap_corruption |
-           cap_stabilize;
-  }
+  capability_mask capabilities() const override;
 
   sub_id subscribe(const spatial::box& filter) override;
   bool unsubscribe(sub_id s) override;
   bool crash(sub_id s) override;
   bool restart(sub_id s) override;
   std::size_t corrupt(double rate, std::uint64_t seed) override;
+  bool partition(const std::vector<sub_id>& side_b) override;
+  bool heal() override { return overlay_->heal_partition(); }
+  bool degrade_links(double latency_factor, double extra_loss,
+                     double ramp_rounds) override;
 
   bool alive(sub_id s) const override;
   std::vector<sub_id> active() const override;
@@ -77,16 +86,17 @@ class broker_backend final : public backend {
   explicit broker_backend(overlay_backend_config config = {});
 
   std::string name() const override { return "broker"; }
-  capability_mask capabilities() const override {
-    return cap_unsubscribe | cap_crash | cap_restart | cap_corruption |
-           cap_stabilize;
-  }
+  capability_mask capabilities() const override;
 
   sub_id subscribe(const spatial::box& filter) override;
   bool unsubscribe(sub_id s) override;
   bool crash(sub_id s) override;
   bool restart(sub_id s) override;
   std::size_t corrupt(double rate, std::uint64_t seed) override;
+  bool partition(const std::vector<sub_id>& side_b) override;
+  bool heal() override { return broker_->raw_overlay().heal_partition(); }
+  bool degrade_links(double latency_factor, double extra_loss,
+                     double ramp_rounds) override;
 
   bool alive(sub_id s) const override;
   std::vector<sub_id> active() const override;

@@ -182,6 +182,43 @@ std::size_t scenario_runner::do_corrupt(phase_ctx ctx, double rate,
   return mutations;
 }
 
+int scenario_runner::do_steps(int rounds, phase_metrics* out) {
+  for (int r = 0; r < rounds; ++r) be_.step_round();
+  if (out != nullptr) {
+    out->rounds = rounds;
+    out->legal = be_.legal() ? 1 : 0;
+  }
+  return rounds;
+}
+
+std::size_t scenario_runner::do_partition(phase_ctx ctx, double fraction,
+                                          phase_metrics* out) {
+  auto live = be_.active();
+  std::size_t target =
+      std::min(static_cast<std::size_t>(fraction *
+                                        static_cast<double>(live.size())),
+               live.size());
+  ctx.rng.shuffle(live);
+  live.resize(target);
+  if (!be_.partition(live)) return 0;
+  be_.settle();
+  if (out != nullptr) out->legal = be_.legal() ? 1 : 0;
+  return live.size();
+}
+
+bool scenario_runner::do_heal(phase_metrics* out) {
+  if (!be_.heal()) return false;
+  be_.settle();
+  if (out != nullptr) out->legal = be_.legal() ? 1 : 0;
+  return true;
+}
+
+bool scenario_runner::do_degrade(const degrade_links_phase& p,
+                                 phase_metrics* out) {
+  (void)out;
+  return be_.degrade_links(p.latency_factor, p.extra_loss, p.ramp_rounds);
+}
+
 void scenario_runner::do_ramp(phase_ctx ctx, const param_ramp_phase& p,
                               metrics_recorder& rec) {
   for (std::size_t step = 0; step < p.steps; ++step) {
@@ -282,6 +319,26 @@ void scenario_runner::execute(phase_ctx ctx, const phase& p,
     }
   } else if (const auto* conv = std::get_if<converge_phase>(&p)) {
     do_converge(conv->max_rounds, &m);
+  } else if (const auto* steps = std::get_if<step_rounds_phase>(&p)) {
+    do_steps(steps->rounds, &m);
+  } else if (const auto* cut = std::get_if<partition_phase>(&p)) {
+    if (be_.can(cap_partition)) {
+      do_partition(ctx, cut->fraction, &m);
+    } else {
+      m.skipped = true;
+    }
+  } else if (std::holds_alternative<heal_phase>(p)) {
+    if (be_.can(cap_partition)) {
+      do_heal(&m);
+    } else {
+      m.skipped = true;
+    }
+  } else if (const auto* deg = std::get_if<degrade_links_phase>(&p)) {
+    if (be_.can(cap_degrade)) {
+      do_degrade(*deg, &m);
+    } else {
+      m.skipped = true;
+    }
   }
 
   finish_row(m, before);
@@ -360,6 +417,22 @@ std::size_t scenario_runner::restart_burst(std::size_t count) {
 
 std::size_t scenario_runner::corrupt(double rate) {
   return do_corrupt(own_ctx(), rate, nullptr);
+}
+
+int scenario_runner::step_rounds(int rounds) {
+  return do_steps(rounds, nullptr);
+}
+
+std::size_t scenario_runner::partition(double fraction) {
+  return do_partition(own_ctx(), fraction, nullptr);
+}
+
+bool scenario_runner::heal() { return do_heal(nullptr); }
+
+bool scenario_runner::degrade_links(double latency_factor, double extra_loss,
+                                    double ramp_rounds) {
+  return do_degrade(
+      degrade_links_phase{latency_factor, extra_loss, ramp_rounds}, nullptr);
 }
 
 }  // namespace drt::engine

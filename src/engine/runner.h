@@ -77,6 +77,16 @@ class scenario_runner {
   std::size_t restart_burst(std::size_t count);
   /// Scramble backend state; returns mutations performed.
   std::size_t corrupt(double rate);
+  /// Run exactly `rounds` stabilization rounds (legal or not).
+  int step_rounds(int rounds);
+  /// Cut off a random `fraction` of the live population (0 without
+  /// cap_partition); returns the minority size.
+  std::size_t partition(double fraction);
+  /// Remove the active partition; false without cap_partition.
+  bool heal();
+  /// Install a degradation ramp; false without cap_degrade.
+  bool degrade_links(double latency_factor, double extra_loss,
+                     double ramp_rounds);
 
   // ----------------------------------------------------------- access
   engine::backend& backend() { return be_; }
@@ -118,6 +128,11 @@ class scenario_runner {
   std::size_t do_restart(phase_ctx ctx, std::size_t count,
                          phase_metrics* out);
   std::size_t do_corrupt(phase_ctx ctx, double rate, phase_metrics* out);
+  int do_steps(int rounds, phase_metrics* out);
+  std::size_t do_partition(phase_ctx ctx, double fraction,
+                           phase_metrics* out);
+  bool do_heal(phase_metrics* out);
+  bool do_degrade(const degrade_links_phase& p, phase_metrics* out);
   void do_ramp(phase_ctx ctx, const param_ramp_phase& p,
                metrics_recorder& rec);
 

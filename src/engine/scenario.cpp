@@ -39,6 +39,14 @@ struct phase_name_visitor {
   const char* operator()(const param_ramp_phase&) const {
     return "param_ramp";
   }
+  const char* operator()(const step_rounds_phase&) const {
+    return "step_rounds";
+  }
+  const char* operator()(const partition_phase&) const { return "partition"; }
+  const char* operator()(const heal_phase&) const { return "heal"; }
+  const char* operator()(const degrade_links_phase&) const {
+    return "degrade_links";
+  }
 };
 
 }  // namespace
@@ -75,6 +83,11 @@ scenario::builder& scenario::builder::subscription_params(
 scenario::builder& scenario::builder::workspace(
     const spatial::box& workspace) {
   scenario_.workload.subs.workspace = workspace;
+  return *this;
+}
+
+scenario::builder& scenario::builder::net(const net::model_config& model) {
+  scenario_.net = model;
   return *this;
 }
 
@@ -140,6 +153,29 @@ scenario::builder& scenario::builder::converge(int max_rounds) {
   return *this;
 }
 
+scenario::builder& scenario::builder::step_rounds(int rounds) {
+  scenario_.timeline.push_back(step_rounds_phase{rounds});
+  return *this;
+}
+
+scenario::builder& scenario::builder::partition(double fraction) {
+  scenario_.timeline.push_back(partition_phase{fraction});
+  return *this;
+}
+
+scenario::builder& scenario::builder::heal() {
+  scenario_.timeline.push_back(heal_phase{});
+  return *this;
+}
+
+scenario::builder& scenario::builder::degrade_links(double latency_factor,
+                                                    double extra_loss,
+                                                    double ramp_rounds) {
+  scenario_.timeline.push_back(
+      degrade_links_phase{latency_factor, extra_loss, ramp_rounds});
+  return *this;
+}
+
 scenario::builder& scenario::builder::param_ramp(
     ramp_target target, double from, double to, std::size_t steps,
     workload::event_family family) {
@@ -191,6 +227,26 @@ scenario rolling_churn(std::size_t n, std::size_t waves, std::size_t ops,
                     .converge()
                     .publish_sweep(60, workload::event_family::matching);
               })
+      .build();
+}
+
+scenario split_brain_heal(std::size_t n, double minority, int down_rounds,
+                          std::uint64_t seed) {
+  // Dynamic fault layer over the default uniform transport: partitions
+  // need a runtime-controllable model.
+  net::dynamic_model_config dyn;
+  return scenario::make("split_brain_heal")
+      .seed(seed)
+      .net(dyn)
+      .populate(n)
+      .converge()
+      .publish_sweep(60, workload::event_family::matching)  // healthy FN = 0
+      .partition(minority)
+      .step_rounds(down_rounds)  // each side stabilizes alone
+      .publish_sweep(60, workload::event_family::matching)  // FNs: the cut
+      .heal()
+      .converge(400)  // the two trees must merge back into one
+      .publish_sweep(60, workload::event_family::matching)  // FN = 0 again
       .build();
 }
 

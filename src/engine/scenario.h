@@ -23,10 +23,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "net/config.h"
 #include "spatial/types.h"
 #include "workload/workload.h"
 
@@ -93,6 +95,35 @@ struct converge_phase {
   int max_rounds = 300;
 };
 
+/// Run exactly `rounds` stabilization rounds, legal or not, recording
+/// legality afterwards.  This is how a timeline holds a fault window
+/// open (e.g. "stay partitioned for 8 periods") — converge would either
+/// exit immediately or burn its whole budget against a fault that
+/// cannot heal by stabilization alone.
+struct step_rounds_phase {
+  int rounds = 1;
+};
+
+/// Cut the network in two: `fraction` of the live population (chosen by
+/// the runner's RNG) forms the minority side.  Cross-cut messages drop
+/// and each side's failure detectors see the other as dead until a heal
+/// phase.  Requires cap_partition; recorded as skipped otherwise.
+struct partition_phase {
+  double fraction = 0.5;
+};
+
+/// Remove the active partition.  Requires cap_partition.
+struct heal_phase {};
+
+/// Ramp all links to `latency_factor` x latency and `extra_loss`
+/// stacked loss over `ramp_rounds` stabilization periods, then hold.
+/// Requires cap_degrade; recorded as skipped otherwise.
+struct degrade_links_phase {
+  double latency_factor = 1.0;
+  double extra_loss = 0.0;
+  double ramp_rounds = 0.0;
+};
+
 /// Which knob a param_ramp phase sweeps.
 enum class ramp_target {
   churn_ops,      ///< churn_wave ops per step
@@ -119,7 +150,8 @@ using phase =
     std::variant<populate_phase, publish_sweep_phase, churn_wave_phase,
                  crash_burst_phase, controlled_leave_wave_phase,
                  restart_burst_phase, corruption_burst_phase, converge_phase,
-                 param_ramp_phase>;
+                 param_ramp_phase, step_rounds_phase, partition_phase,
+                 heal_phase, degrade_links_phase>;
 
 /// Stable phase label used in metrics rows and digests.
 const char* phase_name(const phase& p);
@@ -143,6 +175,12 @@ struct workload_profile {
 struct scenario {
   std::string name;
   workload_profile workload;
+  /// Declarative network model the scenario is meant to run under; a
+  /// scenario with partition/degrade phases needs a dynamic model here.
+  /// Backends are constructed by the caller, so this is applied via
+  /// engine::configured_for (backends.h) — unset means "whatever the
+  /// backend was built with" (the uniform default).
+  std::optional<net::model_config> net;
   std::vector<phase> timeline;
 
   class builder;
@@ -159,6 +197,8 @@ class scenario::builder {
   /// Workspace filters/events are generated over; keep it equal to the
   /// backend's workspace (see workload_profile).
   builder& workspace(const spatial::box& workspace);
+  /// Declarative network model (see scenario::net).
+  builder& net(const net::model_config& model);
 
   builder& populate(std::size_t count);
   builder& subscribe(std::vector<spatial::box> filters);
@@ -174,6 +214,11 @@ class scenario::builder {
   builder& restart_burst(std::size_t count);
   builder& corruption_burst(double rate);
   builder& converge(int max_rounds = 300);
+  builder& step_rounds(int rounds);
+  builder& partition(double fraction = 0.5);
+  builder& heal();
+  builder& degrade_links(double latency_factor, double extra_loss = 0.0,
+                         double ramp_rounds = 0.0);
   builder& param_ramp(
       ramp_target target, double from, double to, std::size_t steps,
       workload::event_family family = workload::event_family::matching);
@@ -206,6 +251,16 @@ scenario rolling_churn(std::size_t n = 64, std::size_t waves = 4,
 /// corrupt half the survivors' memories, then heal and verify accuracy.
 scenario massacre_then_heal(std::size_t n = 60, double crash_fraction = 1.0 / 3,
                             double corruption = 0.5, std::uint64_t seed = 7);
+
+/// Split-brain under a network partition, then heal (E18): a converged
+/// population is cut in two for `down_rounds` stabilization periods
+/// (each side re-legalizes internally — measured by the sweep across
+/// the cut), then the partition heals and the two trees must merge back
+/// to one legal overlay with zero false negatives.  Carries a dynamic
+/// net model over the uniform default, so run it on a backend built via
+/// engine::configured_for.
+scenario split_brain_heal(std::size_t n = 64, double minority = 1.0 / 3,
+                          int down_rounds = 8, std::uint64_t seed = 7);
 
 }  // namespace canned
 

@@ -1,0 +1,107 @@
+// Network-model configuration (DESIGN.md §7): plain value types.
+//
+// The paper proves its stabilization guarantees over an idealized
+// transport — one global uniform delay plus iid loss — and until this
+// subsystem the simulator hard-coded exactly that.  A model_config
+// describes the transport declaratively: it travels inside
+// sim::simulator_config and engine::scenario values, so an experiment's
+// network shape is part of its reproducible identity (same scenario +
+// seed + net config ⇒ bit-identical run).
+//
+// Three models (built by net::make_model in net/model.h):
+//
+//  * uniform_model_config — the paper's transport: one delay range and
+//    one iid drop probability for every link.  The default-constructed
+//    value reproduces the legacy hard-coded behavior bit-for-bit.
+//  * cluster_model_config — WAN/datacenter shape: peers are assigned to
+//    clusters as they join; each (cluster, cluster) pair has its own
+//    delay range (intra fast, inter slow by default), plus a per-link
+//    deterministic jitter so no two links are identical.
+//  * dynamic_model_config — time-varying effects layered on either base
+//    model: partitions between peer sets with later heal, per-link
+//    degradation ramps, and stacked loss / duplication / reordering
+//    knobs.  Partition and degradation are *runtime* controls (driven by
+//    scenario phases); the knobs here are the static layer.
+#ifndef DRT_NET_CONFIG_H
+#define DRT_NET_CONFIG_H
+
+#include <cstddef>
+#include <variant>
+#include <vector>
+
+namespace drt::net {
+
+/// The paper's transport: uniform(min_delay, max_delay) latency and iid
+/// loss on every link.  Defaults mirror sim::simulator_config's legacy
+/// fields, and the model consumes the RNG in the identical order, so the
+/// golden determinism hashes do not move.
+struct uniform_model_config {
+  double min_delay = 0.5;
+  double max_delay = 1.5;
+  double loss = 0.0;  ///< iid drop probability per message
+};
+
+/// Topology-aware latency: `clusters` groups of peers with per-pair
+/// delay ranges.  Peers are assigned to a cluster when they join
+/// (round-robin by default — deterministic and balanced — or uniformly
+/// at random).  The full matrices win over the intra/inter shorthand
+/// when non-empty; both are `clusters x clusters`, row-major,
+/// [from][to].
+struct cluster_model_config {
+  std::size_t clusters = 2;
+
+  /// Shorthand: diagonal (intra-cluster) and off-diagonal
+  /// (inter-cluster) delay ranges, used when the matrices are empty.
+  double intra_min = 0.2;
+  double intra_max = 0.6;
+  double inter_min = 2.0;
+  double inter_max = 6.0;
+
+  /// Explicit per-pair delay matrices (row-major, clusters^2 entries).
+  /// Either both empty (use the shorthand) or both full.
+  std::vector<double> min_matrix;
+  std::vector<double> max_matrix;
+
+  /// Per-link deterministic jitter: every (from, to) link scales its
+  /// drawn delay by a fixed factor in [1 - jitter, 1 + jitter], derived
+  /// by hashing the link identity (no RNG stream consumed, so two runs
+  /// agree and adding links never perturbs others).
+  double jitter = 0.0;
+
+  double loss = 0.0;  ///< iid drop probability per message
+
+  /// false: round-robin assignment (deterministic, balanced).
+  /// true: uniform random cluster per join (consumes one RNG draw).
+  bool random_assignment = false;
+};
+
+/// Time-varying effects over a base model.  The static knobs stack on
+/// every send; partitions and degradation ramps are installed at runtime
+/// (sim::simulator::partition / degrade_links, driven by the engine's
+/// partition / heal / degrade_links scenario phases).
+struct dynamic_model_config {
+  std::variant<uniform_model_config, cluster_model_config> base{};
+
+  double extra_loss = 0.0;  ///< iid loss stacked on the base model's
+  double duplicate = 0.0;   ///< probability a delivered message is duplicated
+  double reorder = 0.0;     ///< probability a message's delay is stretched
+  double reorder_factor = 3.0;  ///< stretch multiplier for reordered sends
+};
+
+using model_config =
+    std::variant<uniform_model_config, cluster_model_config,
+                 dynamic_model_config>;
+
+/// Stable model label for tables and digests.
+const char* model_name(const model_config& config);
+
+/// Abort (via util/expect.h) on invalid configuration: delay ranges
+/// ordered and non-negative, probabilities in [0, 1], cluster matrices
+/// square / non-negative / consistently sized.  Called by the simulator
+/// at construction so a bad net config fails loudly instead of silently
+/// misbehaving.
+void validate(const model_config& config);
+
+}  // namespace drt::net
+
+#endif  // DRT_NET_CONFIG_H

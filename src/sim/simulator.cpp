@@ -5,22 +5,37 @@
 namespace drt::sim {
 
 namespace {
-/// Calendar-queue bucket width: ~1/8 of the mean link delay, so a typical
-/// in-flight message population spreads over tens of buckets.  Clamped
-/// away from zero for degenerate (zero-delay) configurations, where the
-/// queue gracefully decays to one sorted bucket.
-double bucket_width_for(const simulator_config& config) {
-  const double mean_delay = 0.5 * (config.min_delay + config.max_delay);
-  return std::max(mean_delay / 8.0, 1e-6);
+/// The model a config describes: the explicit one when set, else a
+/// uniform model from the legacy shorthand fields.  net::make_model
+/// validates (the shorthand path re-checks the legacy invariants the
+/// old constructor asserted inline).
+net::model_config resolve_model(const simulator_config& config) {
+  if (config.model.has_value()) return *config.model;
+  net::uniform_model_config u;
+  u.min_delay = config.min_delay;
+  u.max_delay = config.max_delay;
+  u.loss = config.message_loss;
+  return u;
+}
+
+/// Calendar-queue bucket width: ~1/8 of the model's mean link delay, so
+/// a typical in-flight message population spreads over tens of buckets.
+/// Clamped away from zero for degenerate (zero-delay) configurations,
+/// where the queue gracefully decays to one sorted bucket.
+double bucket_width_for(const net::link_model& model) {
+  sim_time lo = 0.0;
+  sim_time hi = 0.0;
+  model.delay_bounds(lo, hi);
+  return std::max(0.5 * (lo + hi) / 8.0, 1e-6);
 }
 }  // namespace
 
 simulator::simulator(simulator_config config)
-    : config_(config), rng_(config.seed), queue_(bucket_width_for(config)) {
-  DRT_EXPECT(config_.min_delay >= 0.0);
-  DRT_EXPECT(config_.max_delay >= config_.min_delay);
-  DRT_EXPECT(config_.message_loss >= 0.0 && config_.message_loss <= 1.0);
-}
+    : config_(config),
+      net_(net::make_model(resolve_model(config))),
+      dynamic_(net_->as_dynamic()),
+      rng_(config.seed),
+      queue_(bucket_width_for(*net_)) {}
 
 simulator::~simulator() = default;
 
@@ -31,8 +46,43 @@ process_id simulator::add_process(std::unique_ptr<process> p) {
   p->sim_ = this;
   p->alive_ = true;
   processes_.push_back(std::move(p));
+  net_->on_process_added(id, rng_);
   processes_.back()->on_start();
   return id;
+}
+
+bool simulator::partition(const std::vector<process_id>& side_b) {
+  if (dynamic_ == nullptr) return false;
+  dynamic_->partition(side_b);
+  // Sever in-flight traffic too: a partition cuts links, and packets on
+  // a cut link are lost, not delayed until the heal.
+  const auto purged = queue_.erase_if([this](const pending_event& ev) {
+    return ev.what == pending_event::kind::message &&
+           !dynamic_->allows(ev.from, ev.to);
+  });
+  metrics_.messages_partitioned += purged;
+  DRT_ENSURE(pending_work_ >= purged);
+  pending_work_ -= purged;
+  return true;
+}
+
+bool simulator::heal_partition() {
+  if (dynamic_ == nullptr) return false;
+  dynamic_->heal();
+  return true;
+}
+
+bool simulator::degrade_links(double latency_factor, double extra_loss,
+                              sim_time ramp) {
+  if (dynamic_ == nullptr) return false;
+  dynamic_->degrade(now_, ramp, latency_factor, extra_loss);
+  return true;
+}
+
+bool simulator::clear_degradation() {
+  if (dynamic_ == nullptr) return false;
+  dynamic_->clear_degradation();
+  return true;
 }
 
 void simulator::crash(process_id id) {
@@ -78,17 +128,28 @@ void simulator::post_message(process_id from, process_id to,
     ++metrics_.messages_partitioned;
     return;
   }
-  if (config_.message_loss > 0.0 && rng_.chance(config_.message_loss)) {
-    ++metrics_.messages_dropped;
+  const net::link_decision d = net_->on_send(from, to, now_, rng_);
+  if (!d.deliver) {
+    ++(d.partitioned ? metrics_.messages_partitioned
+                     : metrics_.messages_dropped);
     return;
   }
   pending_event ev;
-  ev.at = now_ + rng_.uniform_real(config_.min_delay, config_.max_delay);
+  ev.at = now_ + d.delay;
   ev.what = pending_event::kind::message;
   ev.from = from;
   ev.to = to;
   ev.type = type;
   ev.payload = std::move(msg);
+  if (d.duplicate_lag >= 0.0) {
+    // Network-level duplication: the payload block is shared between the
+    // two deliveries, so the duplicate is flagged on the event (the
+    // message kinds repurpose the periodic-only generation/period slots)
+    // and re-queued after the first delivery instead of copied.
+    ++metrics_.messages_duplicated;
+    ev.generation = 1;
+    ev.period = ev.at + d.duplicate_lag;
+  }
   push_event(std::move(ev));
 }
 
@@ -145,7 +206,8 @@ bool simulator::pop_and_execute() {
     case pending_event::kind::message:
       if (!target.alive_) {
         // Sent while the target was already down (crash-time purge
-        // removed everything in flight at that point).
+        // removed everything in flight at that point).  Any pending
+        // duplicate dies with it.
         ++metrics_.messages_to_dead;
         return true;
       }
@@ -153,6 +215,14 @@ bool simulator::pop_and_execute() {
       ++metrics_.handler_steps;
       if (trace_) trace_({now_, ev.from, ev.to, ev.type});
       target.on_message(ev.from, ev.type, ev.payload);
+      if (ev.generation != 0) {
+        // Duplicated by the network (see post_message): re-queue the
+        // same event — payload block included — for its second arrival.
+        pending_event dup = std::move(ev);
+        dup.at = dup.period;
+        dup.generation = 0;
+        push_event(std::move(dup));
+      }
       return true;
     case pending_event::kind::timer:
       if (!target.alive_) return true;

@@ -14,17 +14,24 @@
 // two-level calendar queue (sim/event_queue.h) with O(1) amortized
 // schedule/pop.  Event execution follows the strict total order
 // (at, seq) — see the determinism contract in DESIGN.md.
+//
+// Message fate (latency, loss, partition cuts, duplication) is decided
+// by a pluggable net::link_model consulted on the send path (DESIGN.md
+// §7).  The default uniform model reproduces the legacy hard-coded
+// uniform-delay/iid-loss behavior bit-for-bit.
 #ifndef DRT_SIM_SIMULATOR_H
 #define DRT_SIM_SIMULATOR_H
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "net/model.h"
 #include "sim/event_queue.h"
 #include "sim/message.h"
 #include "util/expect.h"
@@ -69,17 +76,24 @@ class process {
 
 struct simulator_config {
   std::uint64_t seed = 1;
+  /// Legacy shorthand for the default transport: when `model` is unset,
+  /// the simulator runs a net::uniform_model built from these three
+  /// fields (identical behavior to the original hard-coded send path).
   sim_time min_delay = 0.5;      ///< per-message latency lower bound
   sim_time max_delay = 1.5;      ///< per-message latency upper bound
   double message_loss = 0.0;     ///< iid drop probability per message
+  /// Explicit network model; overrides the shorthand fields when set.
+  /// Validated (net::validate) at simulator construction.
+  std::optional<net::model_config> model;
 };
 
 /// Counters the experiment harnesses read.
 struct sim_metrics {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
-  std::uint64_t messages_dropped = 0;     ///< random loss
-  std::uint64_t messages_partitioned = 0; ///< blocked by the link filter
+  std::uint64_t messages_dropped = 0;     ///< random loss (any model)
+  std::uint64_t messages_partitioned = 0; ///< blocked by filter or partition
+  std::uint64_t messages_duplicated = 0;  ///< extra copies the network grew
   std::uint64_t messages_to_dead = 0;     ///< purged at crash or sent to dead
   std::uint64_t timers_fired = 0;
   std::uint64_t handler_steps = 0;  ///< total handler executions
@@ -143,9 +157,9 @@ class simulator {
   std::size_t process_count() const { return processes_.size(); }
 
   // ----------------------------------------------------------- messaging
-  /// Send message `type` with payload `body` (may be omitted).  Delivery
-  /// is delayed by uniform(min_delay, max_delay) and may be dropped with
-  /// probability `message_loss`.  Payloads up to
+  /// Send message `type` with payload `body` (may be omitted).  The
+  /// configured net::link_model decides the fate: delivery delay, random
+  /// loss, partition cuts, duplication.  Payloads up to
   /// envelope::kMaxPooledPayload travel in slab-recycled pool blocks —
   /// allocation-free once the simulation reaches a steady state.
   template <typename Payload>
@@ -157,9 +171,40 @@ class simulator {
 
   /// Install a link filter: messages with allow(from, to) == false are
   /// dropped at send time (counted as partitioned).  Pass nullptr to
-  /// heal.  Models network partitions / asymmetric link failures.
+  /// heal.  A test hook for arbitrary link predicates; declarative
+  /// partitions should use partition()/heal_partition() on a dynamic
+  /// net model instead (those also inform the reachability oracle).
   using link_filter = std::function<bool(process_id from, process_id to)>;
   void set_link_filter(link_filter allow) { link_filter_ = std::move(allow); }
+
+  // ------------------------------------------------------ network model
+  const net::link_model& net_model() const { return *net_; }
+  net::link_model& net_model() { return *net_; }
+  /// The dynamic fault layer, or nullptr when the configured model has
+  /// none (partition/degrade calls then return false).
+  net::dynamic_model* dynamic_net() { return dynamic_; }
+  const net::dynamic_model* dynamic_net() const { return dynamic_; }
+
+  /// Partition the network: `side_b` on one side, everyone else on the
+  /// other.  Cross-cut messages already in flight are purged (a cut
+  /// severs links, not just future sends) and counted as partitioned;
+  /// subsequent cross-cut sends are dropped the same way.  Returns false
+  /// (and does nothing) when the model has no dynamic layer.
+  bool partition(const std::vector<process_id>& side_b);
+  /// Remove the active partition.  False when the model is not dynamic.
+  bool heal_partition();
+  /// Ramp all links to `latency_factor` x latency and `extra_loss`
+  /// stacked loss over `ramp` virtual time starting now, then hold.
+  bool degrade_links(double latency_factor, double extra_loss,
+                     sim_time ramp);
+  bool clear_degradation();
+
+  /// Reachability under the active partition (true when none): the
+  /// failure-detector oracle overlay protocols consult.  A partitioned
+  /// peer is indistinguishable from a crashed one.
+  bool reachable(process_id from, process_id to) const {
+    return dynamic_ == nullptr || dynamic_->allows(from, to);
+  }
 
   /// Trace hook: invoked at every message *delivery* (after the latency,
   /// before the handler).  For logging/analysis tooling; pass nullptr to
@@ -235,6 +280,8 @@ class simulator {
   bool pop_and_execute();
 
   simulator_config config_;
+  std::unique_ptr<net::link_model> net_;
+  net::dynamic_model* dynamic_ = nullptr;  ///< net_'s fault layer, if any
   util::rng rng_;
   sim_time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
