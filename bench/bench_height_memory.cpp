@@ -6,6 +6,8 @@
 // the polylog bound while growing slowly with N.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "analysis/harness.h"
 #include "analysis/models.h"
 #include "bench_common.h"
@@ -30,12 +32,17 @@ void BM_HeightMemory(benchmark::State& state) {
   hc.net.seed = 11 + n;
 
   drt::overlay::check_report report;
+  drt::overlay::arena_stats protocol;
   drt::rtree::rtree_stats substrate;
   for (auto _ : state) {
     testbed tb(hc);
     tb.populate(n);
     tb.converge();
     report = tb.report();
+    // Real per-peer protocol-state footprint: the instance arena reports
+    // what the live dr_peer levels actually occupy (slabs + per-instance
+    // heap), not a link-count estimate.
+    protocol = tb.overlay().arena().stats();
 
     // Real substrate footprint: the sequential R-tree over the same
     // filter population reports its arena size directly
@@ -65,16 +72,25 @@ void BM_HeightMemory(benchmark::State& state) {
   state.counters["legal"] = report.legal() ? 1.0 : 0.0;
   state.counters["rtree_bytes"] =
       static_cast<double>(substrate.bytes_allocated);
+  state.counters["arena_bytes"] = static_cast<double>(protocol.total_bytes());
+  state.counters["arena_bytes_per_peer"] =
+      n == 0 ? 0.0
+             : static_cast<double>(protocol.total_bytes()) /
+                   static_cast<double>(n);
 
-  results::instance().set_headers({"N", "m", "M", "height", "log_m(N)",
-                                   "max_peer_links", "memory_bound",
-                                   "rtree_nodes", "rtree_bytes", "legal"});
+  results::instance().set_headers(
+      {"N", "m", "M", "height", "log_m(N)", "max_peer_links", "memory_bound",
+       "arena_bytes", "arena_B/peer", "rtree_nodes", "rtree_bytes", "legal"});
   results::instance().add_row(
       {table::cell(n), table::cell(m), table::cell(big_m),
        table::cell(report.height),
        table::cell(drt::analysis::predicted_height(n, m), 2),
        table::cell(report.max_peer_links),
        table::cell(drt::analysis::predicted_memory(n, m, big_m), 1),
+       table::cell(protocol.total_bytes()),
+       table::cell(static_cast<double>(protocol.total_bytes()) /
+                       static_cast<double>(std::max<std::size_t>(n, 1)),
+                   1),
        table::cell(substrate.node_count),
        table::cell(substrate.bytes_allocated),
        report.legal() ? "yes" : "NO"});

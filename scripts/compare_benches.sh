@@ -13,9 +13,10 @@
 # benches gate the exit status (DRT_TIER1_BENCHES to override): the
 # timing microbenches with statistically meaningful iteration counts
 # (sim_core, rtree_ops), the two end-to-end hot-path benches that
-# ride the R-tree substrate (search, latency), and the partition/heal
+# ride the R-tree substrate (search, latency), the partition/heal
 # experiment (partition_stabilize) that rides the network-model send
-# path — single-shot iterations, so capture them with repetitions and
+# path, and the 100k-peer sharded-kernel scale run (million_peer) —
+# single-shot iterations, so capture them with repetitions and
 # rely on the min.  Other experiment benches are too noisy to gate on,
 # but their deltas are still printed.  A tier-1 bench file or benchmark
 # missing from the candidate set is a hard failure.
@@ -32,7 +33,7 @@ fi
 BASE_DIR="$1"
 CAND_DIR="$2"
 THRESHOLD="${3:-10}"
-TIER1="${DRT_TIER1_BENCHES:-sim_core rtree_ops search latency partition_stabilize}"
+TIER1="${DRT_TIER1_BENCHES:-sim_core rtree_ops search latency partition_stabilize million_peer}"
 
 [ -d "$BASE_DIR" ] || { echo "baseline dir '$BASE_DIR' not found" >&2; exit 2; }
 [ -d "$CAND_DIR" ] || { echo "candidate dir '$CAND_DIR' not found" >&2; exit 2; }

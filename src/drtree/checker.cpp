@@ -24,9 +24,8 @@ std::string where(peer_id p, std::size_t h) {
 
 check_report checker::check(bool check_containment) const {
   check_report r;
-  const auto live = overlay_.live_peers();
-  r.live_peers = live.size();
-  if (live.empty()) return r;
+  r.live_peers = overlay_.live_count();
+  if (r.live_peers == 0) return r;
 
   auto complain = [&](const std::string& text) {
     r.violations.push_back(text);
@@ -41,20 +40,20 @@ check_report checker::check(bool check_containment) const {
   std::size_t interior_count = 0;
 
   peer_id root = kNoPeer;
-  for (const auto p : live) {
+  overlay_.for_each_live([&](peer_id p) {
     const auto& peer = overlay_.peer(p);
     if (peer.is_root()) {
       ++r.roots;
       root = p;
     }
-  }
+  });
   if (r.roots != 1) {
     std::ostringstream out;
     out << "expected exactly one root, found " << r.roots;
     complain(out.str());
   }
 
-  for (const auto p : live) {
+  overlay_.for_each_live([&](peer_id p) {
     const auto& peer = overlay_.peer(p);
     const auto heights = peer.instance_heights();
     r.instances += heights.size();
@@ -178,7 +177,7 @@ check_report checker::check(bool check_containment) const {
     }
     r.memory_links += peer_links;
     r.max_peer_links = std::max(r.max_peer_links, peer_links);
-  }
+  });
 
   if (interior_count > 0) {
     r.avg_interior_children = children_sum / static_cast<double>(interior_count);
@@ -204,18 +203,24 @@ check_report checker::check(bool check_containment) const {
       }
     }
     std::size_t reached = 0;
-    for (const auto p : live) {
+    overlay_.for_each_live([&](peer_id p) {
       if (seen.count(p)) {
         ++reached;
       } else {
         complain("peer " + std::to_string(p) + " unreachable from root");
       }
-    }
+    });
     r.reachable = reached;
   }
 
   // Properties 3.1 / 3.2 over strictly-contained pairs.
   if (check_containment && root != kNoPeer && r.roots == 1) {
+    // The all-pairs scans below genuinely need a random-access snapshot;
+    // build it here so the common check(false) path stays allocation-free.
+    std::vector<peer_id> live;
+    live.reserve(r.live_peers);
+    overlay_.for_each_live([&](peer_id p) { live.push_back(p); });
+
     // Ancestor peer chains from each peer's topmost instance.
     std::unordered_map<peer_id, std::vector<peer_id>> ancestors;
     for (const auto p : live) {

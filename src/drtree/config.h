@@ -74,6 +74,12 @@ struct dr_config {
   /// routes are O(log N).
   std::size_t max_route_hops = 64;
 
+  /// Capacity of each peer's recently-seen event-id ring (the
+  /// dissemination loop guard).  The ring is linear-scanned on every
+  /// event arrival and costs 8 bytes per entry per peer, so million-peer
+  /// runs shrink it; the default matches the historical constant.
+  std::size_t seen_ring = 2048;
+
   /// The workspace used to clamp unbounded filters for area heuristics.
   spatial::box workspace = geo::make_rect2(0, 0, 1000, 1000);
 

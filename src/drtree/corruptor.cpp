@@ -19,14 +19,28 @@ corruption_config uniform_corruption(double rate) {
 }
 
 peer_id corruptor::random_peer() {
-  const auto live = overlay_.live_peers();
-  if (live.empty()) return kNoPeer;
-  return live[rng_.index(live.size())];
+  const auto count = overlay_.live_count();
+  if (count == 0) return kNoPeer;
+  // One rng draw, then a k-th-live walk: the same draw sequence the old
+  // snapshot-and-index version produced, without the vector.
+  auto k = rng_.index(count);
+  peer_id chosen = kNoPeer;
+  overlay_.for_each_live([&](peer_id p) {
+    if (k == 0) {
+      chosen = p;
+      return false;
+    }
+    --k;
+    return true;
+  });
+  return chosen;
 }
 
 std::size_t corruptor::corrupt(const corruption_config& cfg) {
   std::size_t mutations = 0;
-  for (const auto p : overlay_.live_peers()) {
+  // Corruption scrambles state but never liveness, so visiting in place
+  // sees exactly the peers a snapshot would have.
+  overlay_.for_each_live([&](peer_id p) {
     auto& peer = overlay_.peer(p);
     for (const auto h : peer.instance_heights()) {
       if (rng_.chance(cfg.parent_rate)) {
@@ -54,7 +68,7 @@ std::size_t corruptor::corrupt(const corruption_config& cfg) {
       fabricate_instance(p);
       ++mutations;
     }
-  }
+  });
   return mutations;
 }
 

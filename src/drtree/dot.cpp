@@ -11,7 +11,7 @@ std::string to_dot_instances(const dr_overlay& overlay) {
   out << "digraph drtree {\n  rankdir=TB;\n  node [shape=box];\n";
   // Group instances of equal height on one rank.
   std::map<std::size_t, std::vector<std::string>> ranks;
-  for (const auto p : overlay.live_peers()) {
+  overlay.for_each_live([&](spatial::peer_id p) {
     const auto& peer = overlay.peer(p);
     for (const auto h : peer.instance_heights()) {
       std::ostringstream name;
@@ -31,7 +31,7 @@ std::string to_dot_instances(const dr_overlay& overlay) {
         }
       }
     }
-  }
+  });
   for (const auto& [h, names] : ranks) {
     out << "  { rank=same;";
     for (const auto& n : names) out << ' ' << n << ';';
@@ -49,14 +49,14 @@ std::string to_dot_peers(const dr_overlay& overlay) {
     if (a == b) return;
     edges.insert({std::min(a, b), std::max(a, b)});
   };
-  for (const auto p : overlay.live_peers()) {
+  overlay.for_each_live([&](spatial::peer_id p) {
     const auto& peer = overlay.peer(p);
     for (const auto h : peer.instance_heights()) {
       const auto& ins = peer.inst(h);
       for (const auto c : ins.children) add_edge(p, c);
       if (h == peer.top() && ins.parent != p) add_edge(p, ins.parent);
     }
-  }
+  });
   for (const auto& [a, b] : edges) {
     out << "  " << a << " -- " << b << ";\n";
   }

@@ -187,19 +187,53 @@ void dr_overlay::record_delivery(std::uint64_t event_id, peer_id p,
 publish_result dr_overlay::publish_and_drain(peer_id publisher,
                                              const spatial::pt& value,
                                              std::uint64_t max_steps) {
+  const auto event_id = next_event_id();
+  const auto msgs_before = sim_.metrics().messages_sent;
+  publish_begin(publisher, event_id, value);
+  sim_.run_steps(max_steps);
+  return publish_finish(event_id, value, msgs_before);
+}
+
+void dr_overlay::publish_begin(peer_id publisher, std::uint64_t event_id,
+                               const spatial::pt& value) {
   DRT_EXPECT(alive(publisher));
   spatial::event ev;
-  ev.id = next_event_id();
+  ev.id = event_id;
   ev.publisher = publisher;
   ev.value = value;
-
-  const auto msgs_before = sim_.metrics().messages_sent;
   peer(publisher).publish(ev);
-  sim_.run_steps(max_steps);
+}
+
+void dr_overlay::inject_publish(std::uint64_t event_id,
+                                const spatial::pt& value) {
+  // Entry point: the first live root fragment, else any live peer.
+  peer_id target = kNoPeer;
+  for_each_live([&](peer_id id) {
+    if (target == kNoPeer) target = id;
+    if (peer(id).is_root()) {
+      target = id;
+      return false;
+    }
+    return true;
+  });
+  if (target == kNoPeer) return;  // empty shard: nothing to deliver
+  spatial::event ev;
+  ev.id = event_id;
+  ev.publisher = target;
+  ev.value = value;
+  peer(target).publish(ev);
+}
+
+publish_result dr_overlay::publish_finish(std::uint64_t event_id,
+                                          const spatial::pt& value,
+                                          std::uint64_t messages_before) {
+  spatial::event ev;
+  ev.id = event_id;
+  ev.value = value;
 
   publish_result r;
   r.event_id = ev.id;
-  r.messages = sim_.metrics().messages_sent - msgs_before;
+  r.messages = sim_.metrics().messages_sent - messages_before;
   r.max_hops = delivery_hops_[ev.id];
   const auto& delivered = deliveries_[ev.id];
   // Runs once per published event.  Ground truth comes from the filter

@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "drtree/arena.h"
 #include "drtree/config.h"
 #include "drtree/peer.h"
 #include "rtree/rtree.h"
@@ -132,6 +133,25 @@ class dr_overlay {
                                    const spatial::pt& value,
                                    std::uint64_t max_steps = 1000000);
 
+  // Split publication path for callers that own the drive loop (the
+  // sharded kernel backend publishes in one shard, injects into the
+  // others, drains them all at kernel barriers, then collects per-shard
+  // accounting).  publish_and_drain == begin + run_steps + finish.
+  /// Start a publication with a caller-allocated event id; no draining.
+  void publish_begin(spatial::peer_id publisher, std::uint64_t event_id,
+                     const spatial::pt& value);
+  /// Inject an externally published event into this overlay's tree: it
+  /// enters at the root (first live root fragment, else any live peer)
+  /// and disseminates as if published there.  The entry peer records a
+  /// delivery unconditionally — up to one extra false positive per
+  /// injected shard, the documented cost of cross-shard fan-out.
+  void inject_publish(std::uint64_t event_id, const spatial::pt& value);
+  /// Accuracy/cost accounting for `event_id` after the caller drained;
+  /// `messages_before` is sim().metrics().messages_sent at begin time.
+  publish_result publish_finish(std::uint64_t event_id,
+                                const spatial::pt& value,
+                                std::uint64_t messages_before);
+
   /// Record that `p` received event `id` after `hop` messages (called by
   /// peers).
   void record_delivery(std::uint64_t event_id, spatial::peer_id p,
@@ -181,6 +201,10 @@ class dr_overlay {
   const dr_config& config() const { return config_; }
   util::rng& rng() { return sim_.rng(); }
 
+  /// The shard-local arena holding every peer's per-height instances.
+  instance_arena& arena() { return arena_; }
+  const instance_arena& arena() const { return arena_; }
+
   /// Drain all in-flight work (join/leave/repair messages).
   std::uint64_t settle(std::uint64_t max_steps = 1000000) {
     return sim_.run_steps(max_steps);
@@ -193,6 +217,10 @@ class dr_overlay {
 
  private:
   dr_config config_;
+  /// Declared before sim_: the simulator owns the dr_peer processes,
+  /// whose destructors release their arena slots, so the arena must
+  /// outlive the simulator.
+  instance_arena arena_;
   sim::simulator sim_;
   rtree::rtree<spatial::kDims> filter_index_;
   /// Peers whose controlled departure removed them from filter_index_;

@@ -24,60 +24,87 @@ bool instance::remove_child(peer_id q) {
 // -------------------------------------------------------------- dr_peer
 
 namespace {
-constexpr std::size_t kSeenRingSize = 2048;
 constexpr std::uint64_t kReorgMinEvents = 16;
 }  // namespace
 
 dr_peer::dr_peer(dr_overlay& overlay, box filter)
     : overlay_(overlay), filter_(filter) {
-  seen_events_.assign(kSeenRingSize, 0);
+  seen_events_.assign(std::max<std::size_t>(1, overlay.config().seen_ring), 0);
   // Every peer always owns its leaf instance; a fresh peer is the root of
   // its own single-node fragment.
-  instance leaf;
+  const auto slot = overlay_.arena().acquire(0);
+  auto& leaf = overlay_.arena().at(slot);
   leaf.mbr = filter_;
   leaf.parent = kNoPeer;  // set to self id in on_start (id unknown here)
-  levels_.emplace(0, std::move(leaf));
+  levels_.push_back({0, slot});
+}
+
+dr_peer::~dr_peer() {
+  // Slots go back to the arena only here: a crashed peer keeps its (now
+  // stale) instances, exactly as the transient-fault model demands.
+  for (const auto& ref : levels_) overlay_.arena().release(ref.slot);
+}
+
+const dr_peer::level_ref* dr_peer::find_ref(std::size_t h) const {
+  for (const auto& ref : levels_) {
+    if (ref.height == h) return &ref;
+    if (ref.height > h) break;  // ascending order
+  }
+  return nullptr;
+}
+
+dr_peer::level_ref* dr_peer::find_ref(std::size_t h) {
+  return const_cast<level_ref*>(
+      static_cast<const dr_peer*>(this)->find_ref(h));
 }
 
 instance& dr_peer::inst(std::size_t h) {
-  auto it = levels_.find(h);
-  DRT_ENSURE(it != levels_.end());
-  return it->second;
+  auto* ref = find_ref(h);
+  DRT_ENSURE(ref != nullptr);
+  return overlay_.arena().at(ref->slot);
 }
 
 const instance& dr_peer::inst(std::size_t h) const {
-  auto it = levels_.find(h);
-  DRT_ENSURE(it != levels_.end());
-  return it->second;
+  const auto* ref = find_ref(h);
+  DRT_ENSURE(ref != nullptr);
+  return overlay_.arena().at(ref->slot);
 }
 
 instance* dr_peer::find_inst(std::size_t h) {
-  auto it = levels_.find(h);
-  return it == levels_.end() ? nullptr : &it->second;
+  auto* ref = find_ref(h);
+  return ref == nullptr ? nullptr : &overlay_.arena().at(ref->slot);
 }
 
 const instance* dr_peer::find_inst(std::size_t h) const {
-  auto it = levels_.find(h);
-  return it == levels_.end() ? nullptr : &it->second;
+  const auto* ref = find_ref(h);
+  return ref == nullptr ? nullptr : &overlay_.arena().at(ref->slot);
 }
 
 instance& dr_peer::ensure_inst(std::size_t h) {
-  return levels_[h];
+  if (auto* ref = find_ref(h)) return overlay_.arena().at(ref->slot);
+  const auto slot = overlay_.arena().acquire(h);
+  const auto at = std::find_if(levels_.begin(), levels_.end(),
+                               [h](const level_ref& r) { return r.height > h; });
+  levels_.insert(at, {h, slot});
+  return overlay_.arena().at(slot);
 }
 
 void dr_peer::erase_inst(std::size_t h) {
   if (h == 0) return;  // the leaf instance is permanent
-  levels_.erase(h);
+  const auto it = std::find_if(levels_.begin(), levels_.end(),
+                               [h](const level_ref& r) { return r.height == h; });
+  if (it == levels_.end()) return;
+  overlay_.arena().release(it->slot);
+  levels_.erase(it);
 }
 
 std::size_t dr_peer::top() const {
   DRT_ENSURE(!levels_.empty());
-  return levels_.rbegin()->first;
+  return levels_.back().height;
 }
 
 bool dr_peer::is_root() const {
-  const auto& t = levels_.rbegin()->second;
-  return t.parent == pid();
+  return overlay_.arena().at(levels_.back().slot).parent == pid();
 }
 
 bool dr_peer::is_root_at(std::size_t h) const {
@@ -88,7 +115,7 @@ bool dr_peer::is_root_at(std::size_t h) const {
 std::vector<std::size_t> dr_peer::instance_heights() const {
   std::vector<std::size_t> out;
   out.reserve(levels_.size());
-  for (const auto& [h, ins] : levels_) out.push_back(h);
+  for (const auto& ref : levels_) out.push_back(ref.height);
   return out;
 }
 
@@ -556,9 +583,11 @@ void dr_peer::promote_child(std::size_t h, peer_id q) {
   auto& qp = overlay_.peer(q);
   const std::size_t t = top();
   for (std::size_t x = h; x <= t; ++x) {
-    auto it = levels_.find(x);
+    auto it = std::find_if(levels_.begin(), levels_.end(),
+                           [x](const level_ref& r) { return r.height == x; });
     if (it == levels_.end()) continue;
-    instance moved = std::move(it->second);
+    instance moved = std::move(overlay_.arena().at(it->slot));
+    overlay_.arena().release(it->slot);
     levels_.erase(it);
     // Children at x-1 >= h were this peer's instances and move to q too:
     // rename the membership entry.
@@ -1076,7 +1105,7 @@ void dr_peer::stabilize_pass() {
   // Snapshot the heights into reusable scratch (modules may erase
   // instances mid-pass; the old per-pass vector allocation is gone).
   heights_scratch_.clear();
-  for (const auto& kv : levels_) heights_scratch_.push_back(kv.first);
+  for (const auto& ref : levels_) heights_scratch_.push_back(ref.height);
   // Bottom-up so MBR fixes propagate toward the root within one pass.
   for (const auto h : heights_scratch_) {
     if (!has_instance(h)) continue;  // erased by an earlier module

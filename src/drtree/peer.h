@@ -15,12 +15,10 @@
 #ifndef DRT_DRTREE_PEER_H
 #define DRT_DRTREE_PEER_H
 
-#include <algorithm>
 #include <cstdint>
-#include <map>
-#include <unordered_map>
 #include <vector>
 
+#include "drtree/arena.h"
 #include "drtree/config.h"
 #include "drtree/messages.h"
 #include "sim/simulator.h"
@@ -29,32 +27,6 @@
 namespace drt::overlay {
 
 class dr_overlay;
-
-/// Per-height protocol variables (§3.2 "Data Structures"): the children
-/// set C^l_p, parent^l_p, mbr^l_p and the underloaded flag.
-struct instance {
-  std::vector<spatial::peer_id> children;
-  spatial::peer_id parent = spatial::kNoPeer;
-  spatial::box mbr = spatial::box::empty();
-  bool underloaded = false;
-
-  // §3.2 "Dynamic Reorganizations": false positives experienced by this
-  // instance, and the false positives each child *would* have experienced
-  // in its place (experiment E15).
-  std::uint64_t fp_self = 0;
-  std::uint64_t events_seen = 0;
-  std::unordered_map<spatial::peer_id, std::uint64_t> fp_child_would;
-
-  // Hot membership checks: inline so the routing/stabilization loops
-  // never pay a call on them.
-  bool has_child(spatial::peer_id q) const {
-    return std::find(children.begin(), children.end(), q) != children.end();
-  }
-  void add_child(spatial::peer_id q) {
-    if (!has_child(q)) children.push_back(q);
-  }
-  bool remove_child(spatial::peer_id q);
-};
 
 /// Counts of repairs each stabilization module actually performed —
 /// instrumentation for the corruption experiments ("which module does the
@@ -87,12 +59,13 @@ struct repair_stats {
 class dr_peer : public sim::process {
  public:
   dr_peer(dr_overlay& overlay, spatial::box filter);
+  ~dr_peer() override;
 
   // ------------------------------------------------------------- state
   const spatial::box& filter() const { return filter_; }
   spatial::peer_id pid() const { return static_cast<spatial::peer_id>(id()); }
 
-  bool has_instance(std::size_t h) const { return levels_.count(h) > 0; }
+  bool has_instance(std::size_t h) const { return find_ref(h) != nullptr; }
   instance& inst(std::size_t h);                    ///< aborts if missing
   const instance& inst(std::size_t h) const;        ///< aborts if missing
   instance* find_inst(std::size_t h);
@@ -109,8 +82,6 @@ class dr_peer : public sim::process {
   /// while corrupted).
   std::vector<std::size_t> instance_heights() const;
 
-  const std::map<std::size_t, instance>& raw_levels() const { return levels_; }
-  std::map<std::size_t, instance>& mutable_levels() { return levels_; }
   const repair_stats& repairs() const { return repairs_; }
 
   // ------------------------------------------------- protocol (joins)
@@ -232,9 +203,21 @@ class dr_peer : public sim::process {
   /// honest split-brain behavior under partitions.
   bool sees(spatial::peer_id q) const;
 
+  /// One entry per owned instance, ascending by height.  The instance
+  /// data itself lives in the overlay's shard-local instance_arena; the
+  /// peer holds only (height, slot) handles, so iterating a peer's chain
+  /// is a scan over a tiny inline vector and the state it points at is
+  /// packed in arena slabs.
+  struct level_ref {
+    std::size_t height = 0;
+    inst_slot slot = kNoSlot;
+  };
+  const level_ref* find_ref(std::size_t h) const;
+  level_ref* find_ref(std::size_t h);
+
   dr_overlay& overlay_;
   spatial::box filter_;
-  std::map<std::size_t, instance> levels_;
+  std::vector<level_ref> levels_;
   repair_stats repairs_;
 
   // Dissemination loop guard under corrupted topologies: recently seen

@@ -164,6 +164,204 @@ backend_counters drtree_backend::counters() const {
   return {overlay_->sim().metrics().messages_sent, 0};
 }
 
+// ----------------------------------------------- sharded_drtree_backend
+
+sharded_drtree_backend::sharded_drtree_backend(overlay_backend_config config,
+                                               std::size_t shards,
+                                               bool parallel)
+    : kernel_([&] {
+        sim::kernel_config kc;
+        kc.shards = shards == 0 ? 1 : shards;
+        kc.window = config.dr.stabilize_period;
+        kc.parallel = parallel;
+        return kc;
+      }()) {
+  const auto n = kernel_.shards();
+  overlays_.reserve(n);
+  local_to_global_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto scfg = config.net;
+    // Distinct per-shard RNG streams; shard 0 keeps the base seed so a
+    // one-shard run consumes the stream exactly like the unsharded
+    // backend (the digest-equivalence contract).
+    scfg.seed = config.net.seed + i * 0x9e3779b97f4a7c15ull;
+    overlays_.push_back(
+        std::make_unique<overlay::dr_overlay>(config.dr, scfg));
+    kernel_.attach(i, overlays_.back()->sim());
+  }
+}
+
+const sharded_drtree_backend::slot& sharded_drtree_backend::at(
+    sub_id s) const {
+  DRT_EXPECT(s < subs_.size());
+  return subs_[s];
+}
+
+sub_id sharded_drtree_backend::subscribe(const spatial::box& filter) {
+  const auto shard = next_shard_;
+  next_shard_ = (next_shard_ + 1) % overlays_.size();
+  const auto local = overlays_[shard]->add_peer_and_settle(filter);
+  const auto s = static_cast<sub_id>(subs_.size());
+  subs_.push_back({shard, local});
+  DRT_EXPECT(local_to_global_[shard].size() == local);
+  local_to_global_[shard].push_back(s);
+  return s;
+}
+
+bool sharded_drtree_backend::unsubscribe(sub_id s) {
+  const auto& sl = at(s);
+  auto& ov = *overlays_[sl.shard];
+  if (!ov.alive(sl.local)) return false;
+  ov.controlled_leave(sl.local);
+  ov.settle();
+  return true;
+}
+
+bool sharded_drtree_backend::crash(sub_id s) {
+  const auto& sl = at(s);
+  auto& ov = *overlays_[sl.shard];
+  if (!ov.alive(sl.local)) return false;
+  ov.crash(sl.local);
+  return true;
+}
+
+bool sharded_drtree_backend::restart(sub_id s) {
+  const auto& sl = at(s);
+  auto& ov = *overlays_[sl.shard];
+  if (ov.alive(sl.local)) return false;
+  ov.restart(sl.local);
+  return true;
+}
+
+std::size_t sharded_drtree_backend::corrupt(double rate, std::uint64_t seed) {
+  std::size_t mutations = 0;
+  for (std::size_t i = 0; i < overlays_.size(); ++i) {
+    mutations += corrupt_overlay(*overlays_[i], rate, seed + i);
+  }
+  return mutations;
+}
+
+bool sharded_drtree_backend::alive(sub_id s) const {
+  if (s >= subs_.size()) return false;
+  const auto& sl = subs_[s];
+  return overlays_[sl.shard]->alive(sl.local);
+}
+
+std::vector<sub_id> sharded_drtree_backend::active() const {
+  std::vector<sub_id> out;
+  out.reserve(subs_.size());
+  for (sub_id s = 0; s < subs_.size(); ++s) {
+    if (alive(s)) out.push_back(s);
+  }
+  return out;
+}
+
+std::size_t sharded_drtree_backend::population() const {
+  std::size_t n = 0;
+  for (const auto& ov : overlays_) n += ov->live_count();
+  return n;
+}
+
+sub_id sharded_drtree_backend::root() const {
+  // The forest has no global root; expose shard 0's (the one an
+  // unsharded run would have) so "kill the root" scenarios stay
+  // meaningful.
+  const auto r = overlays_[0]->current_root();
+  if (r == spatial::kNoPeer) return kNoSub;
+  return local_to_global_[0][r];
+}
+
+delivery_report sharded_drtree_backend::publish(sub_id publisher,
+                                                const spatial::pt& value) {
+  const auto& sl = at(publisher);
+  const auto event_id = next_event_id_++;
+  std::vector<std::uint64_t> before(overlays_.size(), 0);
+  for (std::size_t i = 0; i < overlays_.size(); ++i) {
+    before[i] = overlays_[i]->sim().metrics().messages_sent;
+  }
+  overlays_[sl.shard]->publish_begin(sl.local, event_id, value);
+  for (std::size_t d = 0; d < overlays_.size(); ++d) {
+    if (d == sl.shard) continue;
+    kernel_.post(sl.shard, d, sizeof(overlay::dr_msg),
+                 [this, d, event_id, value](sim::simulator&) {
+                   overlays_[d]->inject_publish(event_id, value);
+                 });
+  }
+  kernel_.settle();
+
+  delivery_report rep;
+  for (std::size_t i = 0; i < overlays_.size(); ++i) {
+    const auto r = overlays_[i]->publish_finish(event_id, value, before[i]);
+    rep.interested += r.interested;
+    rep.delivered += r.delivered;
+    rep.false_positives += r.false_positives;
+    rep.false_negatives += r.false_negatives;
+    rep.messages += r.messages;
+    rep.max_hops = std::max(rep.max_hops, r.max_hops);
+  }
+  if (overlays_.size() > 1) {
+    rep.messages += overlays_.size() - 1;  // the cross-shard injections
+  }
+  return rep;
+}
+
+void sharded_drtree_backend::step_round() {
+  kernel_.advance(overlays_[0]->config().stabilize_period);
+  kernel_.settle();
+}
+
+bool sharded_drtree_backend::legal() const {
+  // A forest is legitimate when every shard's tree is.
+  for (const auto& ov : overlays_) {
+    if (!overlay::checker(*ov).check().legal()) return false;
+  }
+  return true;
+}
+
+backend_shape sharded_drtree_backend::shape() const {
+  backend_shape s;
+  double degree_sum = 0.0;
+  std::size_t degree_nodes = 0;
+  for (const auto& ov : overlays_) {
+    const auto report = overlay::checker(*ov).check();
+    s.population += report.live_peers;
+    s.height = std::max(s.height, report.height);
+    s.max_degree = std::max(s.max_degree, report.max_interior_children);
+    s.routing_state += report.memory_links;
+    // Weighted by interior-instance count (total instances minus the one
+    // leaf per live peer) so the forest average is honest.
+    const std::size_t interior =
+        report.instances > report.live_peers
+            ? report.instances - report.live_peers
+            : 0;
+    degree_sum += report.avg_interior_children * interior;
+    degree_nodes += interior;
+  }
+  s.avg_degree = degree_nodes == 0 ? 0.0 : degree_sum / degree_nodes;
+  return s;
+}
+
+backend_counters sharded_drtree_backend::counters() const {
+  backend_counters c;
+  for (const auto& ov : overlays_) {
+    c.messages += ov->sim().metrics().messages_sent;
+  }
+  c.messages += kernel_.metrics().cross_messages;
+  return c;
+}
+
+overlay::arena_stats sharded_drtree_backend::arena_stats() const {
+  overlay::arena_stats total;
+  for (const auto& ov : overlays_) {
+    const auto st = ov->arena().stats();
+    total.slots += st.slots;
+    total.live += st.live;
+    total.slab_bytes += st.slab_bytes;
+    total.heap_bytes += st.heap_bytes;
+  }
+  return total;
+}
+
 // ------------------------------------------------------- broker_backend
 
 broker_backend::broker_backend(overlay_backend_config config) {
@@ -363,6 +561,13 @@ std::vector<std::unique_ptr<backend>> make_all_backends(
   out.push_back(std::make_unique<baseline_backend>(
       std::make_unique<baselines::zcurve_dht>(config.dr.workspace, 5, 127)));
   return out;
+}
+
+std::unique_ptr<backend> make_scenario_backend(const scenario& sc,
+                                               overlay_backend_config base) {
+  const auto cfg = configured_for(sc, base);
+  if (sc.shards <= 1) return std::make_unique<drtree_backend>(cfg);
+  return std::make_unique<sharded_drtree_backend>(cfg, sc.shards);
 }
 
 }  // namespace drt::engine

@@ -22,6 +22,7 @@
 #include "engine/backend.h"
 #include "pubsub/broker.h"
 #include "rtree/rtree.h"
+#include "sim/kernel.h"
 
 namespace drt::engine {
 
@@ -76,6 +77,74 @@ class drtree_backend final : public backend {
 
  private:
   std::unique_ptr<overlay::dr_overlay> overlay_;
+};
+
+/// The DR-tree stack sharded over a sim::kernel (DESIGN.md §8): one full
+/// dr_overlay per shard — its own simulator, calendar queue, payload
+/// pool, RNG stream, and filter index — with subscriptions partitioned
+/// round-robin by arrival order.  Each shard grows its own tree, so all
+/// protocol traffic (joins, stabilization, repair) is intra-shard by
+/// construction; only publications cross shards, as kernel injections
+/// delivered at barriers (publish in the origin shard, inject at every
+/// other shard's root).  With one shard this backend is operation-for-
+/// operation identical to drtree_backend — the recorder-digest
+/// equivalence tests pin that — and for any fixed shard count a run is
+/// bit-deterministic.
+class sharded_drtree_backend final : public backend {
+ public:
+  explicit sharded_drtree_backend(overlay_backend_config config = {},
+                                  std::size_t shards = 1,
+                                  bool parallel = false);
+
+  std::string name() const override { return "drtree_sharded"; }
+  capability_mask capabilities() const override {
+    // Partition/degrade act on one simulator's net model; there is no
+    // honest cross-shard story for them, so they are not advertised.
+    return cap_unsubscribe | cap_crash | cap_restart | cap_corruption |
+           cap_stabilize;
+  }
+
+  sub_id subscribe(const spatial::box& filter) override;
+  bool unsubscribe(sub_id s) override;
+  bool crash(sub_id s) override;
+  bool restart(sub_id s) override;
+  std::size_t corrupt(double rate, std::uint64_t seed) override;
+
+  bool alive(sub_id s) const override;
+  std::vector<sub_id> active() const override;
+  std::size_t population() const override;
+  sub_id root() const override;
+
+  delivery_report publish(sub_id publisher, const spatial::pt& value) override;
+
+  void settle() override { kernel_.settle(); }
+  void step_round() override;
+  bool legal() const override;
+  backend_shape shape() const override;
+  backend_counters counters() const override;
+
+  std::size_t shards() const { return overlays_.size(); }
+  overlay::dr_overlay& overlay(std::size_t shard) { return *overlays_[shard]; }
+  sim::kernel& kernel() { return kernel_; }
+  const sim::kernel& kernel() const { return kernel_; }
+
+  /// Total protocol-state footprint across all shard arenas.
+  overlay::arena_stats arena_stats() const;
+
+ private:
+  struct slot {
+    std::size_t shard = 0;
+    spatial::peer_id local = spatial::kNoPeer;
+  };
+  const slot& at(sub_id s) const;
+
+  std::vector<std::unique_ptr<overlay::dr_overlay>> overlays_;
+  sim::kernel kernel_;
+  std::vector<slot> subs_;  ///< global sub_id (the index) -> shard slot
+  /// Per shard: local peer id -> global sub_id (locals are dense).
+  std::vector<std::vector<sub_id>> local_to_global_;
+  std::uint64_t next_event_id_ = 1;
+  std::size_t next_shard_ = 0;
 };
 
 /// The application façade: one broker client per engine subscription, so
@@ -172,6 +241,12 @@ class baseline_backend final : public backend {
 /// surface when requested.
 std::vector<std::unique_ptr<backend>> make_all_backends(
     const overlay_backend_config& config, bool include_broker = false);
+
+/// The overlay backend a scenario calls for: its declarative net model
+/// installed (configured_for) and its `shards` knob honored — 1 builds
+/// the plain drtree_backend, >1 a sharded_drtree_backend over a kernel.
+std::unique_ptr<backend> make_scenario_backend(
+    const scenario& sc, overlay_backend_config base = {});
 
 }  // namespace drt::engine
 

@@ -15,6 +15,11 @@
 // `allows(from, to)`, the reachability predicate the overlay's failure
 // detector queries (a partitioned peer is indistinguishable from a
 // crashed one, which is precisely the split-brain scenario).
+//
+// Shard safety (DESIGN.md §8): every simulator constructs its *own*
+// model instance from the config value and draws from its own RNG, so
+// models carry no cross-simulator state — sim::kernel shards can run
+// their passes on parallel threads without any coordination here.
 #ifndef DRT_NET_MODEL_H
 #define DRT_NET_MODEL_H
 

@@ -91,9 +91,11 @@ publish_outcome broker::publish(client_id publisher,
     }
   }
   if (via == kNoPeer) {
-    const auto live = overlay_.live_peers();
-    DRT_EXPECT(!live.empty());
-    via = live.front();
+    overlay_.for_each_live([&](peer_id p) {
+      via = p;
+      return false;  // first live peer — same pick as the old snapshot
+    });
+    DRT_EXPECT(via != kNoPeer);
   }
 
   const auto r = overlay_.publish_and_drain(via, value);

@@ -169,6 +169,9 @@ class simulator {
   }
   void send(process_id from, process_id to, std::uint64_t type);
 
+  /// The payload pool backing pooled sends (slab/footprint accounting).
+  const payload_pool& pool() const { return pool_; }
+
   /// Install a link filter: messages with allow(from, to) == false are
   /// dropped at send time (counted as partitioned).  Pass nullptr to
   /// heal.  A test hook for arbitrary link predicates; declarative

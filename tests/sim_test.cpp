@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/event_queue.h"
 #include "sim/simulator.h"
 
 namespace drt::sim {
@@ -327,6 +330,111 @@ TEST(Envelope, VisitReturnsNullForEmpty) {
   envelope e;
   EXPECT_TRUE(e.empty());
   EXPECT_EQ(e.visit<int>(), nullptr);
+}
+
+// Events pushed exactly on, just inside, and far beyond the
+// kBuckets-wide ring horizon must pop in strict (at, seq) order: the
+// boundary event goes to the overflow heap, near-boundary ones stay in
+// the ring, and deep-overflow events migrate into the window only after
+// the cursor advances far enough — possibly across several refills.
+TEST(CalendarQueue, OverflowHorizonBoundaries) {
+  using ref_item = std::pair<double, std::uint64_t>;  // (at, seq)
+  const double width = 0.5;
+  const double horizon = 1024 * width;  // kBuckets * width
+  calendar_queue q(width);
+  std::priority_queue<ref_item, std::vector<ref_item>, std::greater<ref_item>>
+      ref;
+  std::uint64_t seq = 0;
+  auto push_at = [&](double at) {
+    pending_event ev;
+    ev.at = at;
+    ev.seq = seq;
+    ev.what = pending_event::kind::timer;
+    ev.to = static_cast<process_id>(seq % 5);
+    q.push(std::move(ev));
+    ref.emplace(at, seq);
+    ++seq;
+  };
+  auto pop_and_check = [&] {
+    const auto ev = q.pop();
+    ASSERT_EQ(ev.at, ref.top().first);
+    ASSERT_EQ(ev.seq, ref.top().second);
+    ref.pop();
+  };
+
+  // Straddle the horizon from t = 0: the last ring bucket, the exact
+  // boundary (first overflow bucket), one past, and deep overflow events
+  // that must survive multiple window refills.
+  push_at(0.0);
+  push_at(width * 0.5);
+  push_at(horizon - width * 0.5);   // last ring bucket
+  push_at(horizon);                 // exactly on the boundary -> overflow
+  push_at(horizon + width * 0.25);  // first bucket past the window
+  push_at(2.0 * horizon);           // one full window away
+  push_at(4.0 * horizon + 1.0);     // several windows away
+  // Ties on the boundary bucket resolve by seq.
+  push_at(horizon);
+
+  // Drain the in-window events; the cursor then jumps to the overflow
+  // front and migrates what now fits.
+  for (int i = 0; i < 3; ++i) pop_and_check();
+
+  // New pushes relative to the advanced cursor: some land in the ring,
+  // some in overflow again.
+  push_at(horizon + width * 0.75);
+  push_at(horizon + horizon * 0.5);
+  push_at(3.0 * horizon);
+
+  // A purge that spans ring and overflow must keep the pop order of the
+  // survivors intact (erase_if re-heapifies the overflow).
+  q.erase_if([](const pending_event& ev) { return ev.to == 1; });
+  {
+    std::priority_queue<ref_item, std::vector<ref_item>,
+                        std::greater<ref_item>>
+        kept;
+    while (!ref.empty()) {
+      if (static_cast<process_id>(ref.top().second % 5) != 1) {
+        kept.push(ref.top());
+      }
+      ref.pop();
+    }
+    ref = std::move(kept);
+  }
+
+  while (!ref.empty()) pop_and_check();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+// Crash purges destroy in-flight pooled envelopes; their blocks must
+// return to the pool's free lists, so repeated storm-then-crash cycles
+// reuse the same slabs instead of carving new ones.
+TEST(Simulator, PayloadPoolRecyclesAcrossCrashPurges) {
+  simulator_config cfg;
+  cfg.min_delay = 5.0;  // keep the storm in flight until the crash
+  cfg.max_delay = 6.0;
+  simulator s(cfg);
+  const auto a = s.add_process(std::make_unique<probe_process>());
+  const auto b = s.add_process(std::make_unique<probe_process>());
+  const std::string big(1000, 'y');
+
+  // Prime: one storm establishes the steady-state slab footprint.
+  for (int i = 0; i < 200; ++i) s.send<std::string>(a, b, 1, big);
+  s.crash(b);  // purge releases every pooled payload
+  s.restart(b);
+  const auto slabs = s.pool().slab_count();
+  EXPECT_GE(slabs, 1u);
+
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    for (int i = 0; i < 200; ++i) s.send<std::string>(a, b, 1, big);
+    s.crash(b);
+    s.restart(b);
+    EXPECT_EQ(s.pool().slab_count(), slabs);
+  }
+  // Delivered traffic recycles the same way.
+  for (int i = 0; i < 200; ++i) s.send<std::string>(a, b, 1, big);
+  s.run_steps(1000);
+  EXPECT_EQ(s.pool().slab_count(), slabs);
 }
 
 }  // namespace
