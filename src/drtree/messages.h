@@ -6,6 +6,7 @@
 #ifndef DRT_DRTREE_MESSAGES_H
 #define DRT_DRTREE_MESSAGES_H
 
+#include <cstddef>
 #include <cstdint>
 #include <type_traits>
 
@@ -33,6 +34,13 @@ enum class msg_kind : std::uint8_t {
   search_up,    ///< query climbing toward the root
   search_down,  ///< query descending a subtree at height `h`
   search_hit,   ///< a leaf whose filter intersects the query reports back
+
+  // Batched event dissemination (DESIGN.md §9): k co-located events share
+  // one envelope and one tree descent, splitting only where children's
+  // summaries diverge.  Appended at the end — kind values are wire
+  // identity (the golden trace digests hash them).
+  batch_up,    ///< event batch climbing toward the root
+  batch_down,  ///< event batch descending a subtree at height `h`
 };
 
 inline const char* to_string(msg_kind k) {
@@ -47,6 +55,8 @@ inline const char* to_string(msg_kind k) {
     case msg_kind::search_up: return "SEARCH_UP";
     case msg_kind::search_down: return "SEARCH_DOWN";
     case msg_kind::search_hit: return "SEARCH_HIT";
+    case msg_kind::batch_up: return "BATCH_UP";
+    case msg_kind::batch_down: return "BATCH_DOWN";
   }
   return "?";
 }
@@ -72,11 +82,8 @@ struct dr_msg {
   /// descending toward the insertion point (Fig. 8).
   bool descending = false;
 
-  /// Event payload (event_up / event_down).
-  spatial::event ev{};
-
-  /// Network messages traversed so far by this event copy (latency metric
-  /// of experiment E11).
+  /// Network messages traversed so far by this message chain (latency
+  /// metric of experiment E11).
   std::size_t hop = 0;
 
   /// search_*: query identity and the peer collecting the hits.
@@ -84,13 +91,58 @@ struct dr_msg {
   spatial::peer_id reply_to = spatial::kNoPeer;
 };
 
-// The protocol message must ride the simulator's allocation-free payload
+/// The lean message of the event hot path (event_up / event_down): just
+/// the event plus routing counters.  Events used to ride the full dr_msg
+/// — 32 bytes of MBR plus join/search fields that dissemination never
+/// reads — pushing every hop into a 64-byte-larger pool size class.
+struct dr_event_msg {
+  msg_kind kind = msg_kind::event_down;
+  std::uint32_t h = 0;          ///< target height (top() bounds it anyway)
+  std::uint32_t hops_left = 0;  ///< remaining hop budget
+  std::uint32_t hop = 0;        ///< network messages traversed so far
+  spatial::event ev{};
+};
+
+/// A batch of co-located events sharing one envelope and one descent
+/// (DESIGN.md §9).  Sent size-prefixed (sim::simulator::send_prefix): a
+/// k-event batch occupies bytes_for(k), not the full-capacity struct, so
+/// small batches ride small pool classes.  Receivers must only read
+/// events[0..count).
+struct dr_batch_msg {
+  /// Capacity per envelope; multi_publish chunks larger requests.  Chosen
+  /// so a full batch (32 B/event) stays well inside the payload pool's
+  /// largest size class.
+  static constexpr std::size_t kMaxEvents = 64;
+
+  msg_kind kind = msg_kind::batch_down;
+  std::uint32_t count = 0;
+  std::uint32_t h = 0;
+  std::uint32_t hops_left = 0;
+  std::uint32_t hop = 0;
+  spatial::event events[kMaxEvents];
+
+  /// Wire size of a batch holding `n` events.
+  static constexpr std::size_t bytes_for(std::size_t n) {
+    return offsetof(dr_batch_msg, events) + n * sizeof(spatial::event);
+  }
+};
+
+// Protocol messages must ride the simulator's allocation-free payload
 // path: trivially copyable (no per-message destructor work) and within
 // the envelope's pooled small-buffer capacity (blocks recycle instead of
-// hitting the global allocator).  If a new field grows dr_msg past the
+// hitting the global allocator).  If a new field grows a message past a
 // limit, shrink the message — don't silently fall back to operator new
-// on every send.
+// on every send.  The size bounds pin the pool size class each message
+// rides (64 B quanta after the 32 B block header).
 static_assert(std::is_trivially_copyable_v<dr_msg>);
+static_assert(sizeof(dr_msg) <= 96, "dr_msg crossed into a larger class");
+static_assert(std::is_trivially_copyable_v<dr_event_msg>);
+static_assert(sizeof(dr_event_msg) <= 48,
+              "the event hot path must stay one cache line with header");
+static_assert(std::is_trivially_copyable_v<dr_batch_msg> &&
+              std::is_trivially_destructible_v<dr_batch_msg>);
+static_assert(dr_batch_msg::bytes_for(dr_batch_msg::kMaxEvents) <=
+              sim::envelope::kMaxPooledPayload);
 static_assert(sizeof(dr_msg) <= sim::envelope::kMaxPooledPayload);
 
 /// Timer types (sim::process::on_timer).

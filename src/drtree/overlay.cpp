@@ -259,6 +259,67 @@ publish_result dr_overlay::publish_finish(std::uint64_t event_id,
   return r;
 }
 
+std::vector<publish_result> dr_overlay::multi_publish_and_drain(
+    peer_id publisher, const spatial::pt* values, std::size_t n,
+    std::uint64_t max_steps) {
+  std::vector<publish_result> out;
+  if (n == 0) return out;
+  std::vector<std::uint64_t> ids(n);
+  for (auto& id : ids) id = next_event_id();
+  const auto msgs_before = sim_.metrics().messages_sent;
+  multi_publish_begin(publisher, ids.data(), values, n);
+  sim_.run_steps(max_steps);
+  const auto msgs_after = sim_.metrics().messages_sent;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Passing msgs_after as the baseline zeroes each per-event message
+    // delta; the shared batch total lands on the first result below.
+    out.push_back(publish_finish(ids[i], values[i], msgs_after));
+  }
+  out.front().messages = msgs_after - msgs_before;
+  return out;
+}
+
+void dr_overlay::multi_publish_begin(peer_id publisher,
+                                     const std::uint64_t* event_ids,
+                                     const spatial::pt* values,
+                                     std::size_t n) {
+  DRT_EXPECT(alive(publisher));
+  if (n == 0) return;
+  std::vector<spatial::event> evs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    evs[i].id = event_ids[i];
+    evs[i].publisher = publisher;
+    evs[i].value = values[i];
+  }
+  peer(publisher).multi_publish(evs.data(), n);
+}
+
+void dr_overlay::inject_multi_publish(const std::uint64_t* event_ids,
+                                      const spatial::pt* values,
+                                      std::size_t n) {
+  if (n == 0) return;
+  // Same entry-point choice as inject_publish: the first live root
+  // fragment, else any live peer.
+  peer_id target = kNoPeer;
+  for_each_live([&](peer_id id) {
+    if (target == kNoPeer) target = id;
+    if (peer(id).is_root()) {
+      target = id;
+      return false;
+    }
+    return true;
+  });
+  if (target == kNoPeer) return;  // empty shard: nothing to deliver
+  std::vector<spatial::event> evs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    evs[i].id = event_ids[i];
+    evs[i].publisher = target;
+    evs[i].value = values[i];
+  }
+  peer(target).multi_publish(evs.data(), n);
+}
+
 void dr_overlay::record_search_hit(std::uint64_t query_id, peer_id p,
                                    std::size_t hop) {
   search_hits_[query_id].insert(p);

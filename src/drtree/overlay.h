@@ -152,6 +152,23 @@ class dr_overlay {
                                 const spatial::pt& value,
                                 std::uint64_t messages_before);
 
+  /// Publish all `values` from one publisher as batch envelopes (DESIGN.md
+  /// §9) and drain; per-event accounting is identical to publishing each
+  /// value alone on a quiescent tree, except that `messages` reports the
+  /// shared batch total on the FIRST result (0 on the rest) — splitting a
+  /// shared envelope's cost per event would be arbitrary.
+  std::vector<publish_result> multi_publish_and_drain(
+      spatial::peer_id publisher, const spatial::pt* values, std::size_t n,
+      std::uint64_t max_steps = 1000000);
+
+  // Split batch path, mirroring publish_begin/inject_publish for the
+  // sharded kernel backend.  event_ids[i] pairs with values[i].
+  void multi_publish_begin(spatial::peer_id publisher,
+                           const std::uint64_t* event_ids,
+                           const spatial::pt* values, std::size_t n);
+  void inject_multi_publish(const std::uint64_t* event_ids,
+                            const spatial::pt* values, std::size_t n);
+
   /// Record that `p` received event `id` after `hop` messages (called by
   /// peers).
   void record_delivery(std::uint64_t event_id, spatial::peer_id p,

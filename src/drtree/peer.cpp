@@ -37,6 +37,7 @@ dr_peer::dr_peer(dr_overlay& overlay, box filter)
   leaf.mbr = filter_;
   leaf.parent = kNoPeer;  // set to self id in on_start (id unknown here)
   levels_.push_back({0, slot});
+  rebuild_summary(0);
 }
 
 dr_peer::~dr_peer() {
@@ -191,6 +192,7 @@ void dr_peer::leave_with_handoff() {
       }
     }
     li.underloaded = li.children.size() < overlay_.config().min_children;
+    lp.rebuild_summary(h);
 
     if (upper == kNoPeer) {
       // Topmost instance: splice the leader where this peer was.
@@ -232,8 +234,50 @@ void dr_peer::send_msg(peer_id to, dr_msg m) {
                      std::move(m));
 }
 
-void dr_peer::on_message(sim::process_id from, std::uint64_t /*type*/,
+void dr_peer::send_event(peer_id to, const dr_event_msg& m) {
+  if (to == kNoPeer) return;
+  sim().send<dr_event_msg>(id(), to, static_cast<std::uint64_t>(m.kind), m);
+}
+
+void dr_peer::send_batch(peer_id to, const dr_batch_msg& m) {
+  if (to == kNoPeer) return;
+  sim().send_prefix<dr_batch_msg>(id(), to, static_cast<std::uint64_t>(m.kind),
+                                  m, dr_batch_msg::bytes_for(m.count));
+}
+
+void dr_peer::on_message(sim::process_id from, std::uint64_t type,
                          const sim::envelope& msg) {
+  // The wire type doubles as the msg_kind (send_msg/send_event/send_batch
+  // all stamp it), so the payload struct can differ per kind: the event
+  // hot path rides the lean dr_event_msg, batches ride the variable-size
+  // dr_batch_msg, everything else the full dr_msg.
+  switch (static_cast<msg_kind>(type)) {
+    case msg_kind::event_up: {
+      const auto* m = msg.visit<dr_event_msg>();
+      DRT_EXPECT(m != nullptr);
+      handle_event_up(static_cast<peer_id>(from), *m);
+      return;
+    }
+    case msg_kind::event_down: {
+      const auto* m = msg.visit<dr_event_msg>();
+      DRT_EXPECT(m != nullptr);
+      handle_event_down(*m);
+      return;
+    }
+    case msg_kind::batch_up: {
+      const auto* m = msg.visit<dr_batch_msg>();
+      DRT_EXPECT(m != nullptr);
+      handle_batch_up(static_cast<peer_id>(from), *m);
+      return;
+    }
+    case msg_kind::batch_down: {
+      const auto* m = msg.visit<dr_batch_msg>();
+      DRT_EXPECT(m != nullptr);
+      handle_batch_down(*m);
+      return;
+    }
+    default: break;
+  }
   const auto* mp = msg.visit<dr_msg>();
   DRT_EXPECT(mp != nullptr);
   const auto& m = *mp;
@@ -245,15 +289,12 @@ void dr_peer::on_message(sim::process_id from, std::uint64_t /*type*/,
     case msg_kind::initiate_new_connection:
       handle_initiate_new_connection(m);
       break;
-    case msg_kind::event_up:
-      handle_event_up(static_cast<peer_id>(from), m);
-      break;
-    case msg_kind::event_down: handle_event_down(m); break;
     case msg_kind::search_up: handle_search_up(m); break;
     case msg_kind::search_down: handle_search_down(m); break;
     case msg_kind::search_hit:
       overlay_.record_search_hit(m.query_id, m.subject, m.hop);
       break;
+    default: break;
   }
 }
 
@@ -312,6 +353,7 @@ void dr_peer::descend_join(std::size_t h, dr_msg m) {
     if (ins == nullptr || h <= m.h) return;  // corrupted route: retry later
     // "adjusts its MBR in order to include the new subscription"
     ins->mbr = join(ins->mbr, m.mbr);
+    summary_mark(*ins, m.mbr);
     if (h == m.h + 1) {
       add_child_at(m.h, m.subject, m.mbr);
       return;
@@ -383,6 +425,7 @@ void dr_peer::root_grow(const dr_msg& m) {
   wi.add_child(q);
   wi.mbr = join(inst(h).mbr, qp.inst(h).mbr);
   wi.underloaded = wi.children.size() < overlay_.config().min_children;
+  wp.rebuild_summary(h + 1);
   inst(h).parent = winner;
   qp.inst(h).parent = winner;
 }
@@ -416,6 +459,7 @@ void dr_peer::add_child_at(std::size_t t, peer_id q, const box& q_mbr) {
     auto& qi = qp.ensure_inst(t);
     qi.parent = pid();
     ins.mbr = join(ins.mbr, qi.mbr.is_empty() ? q_mbr : qi.mbr);
+    summary_mark(ins, qi.mbr.is_empty() ? q_mbr : qi.mbr);
     ins.underloaded = ins.children.size() < overlay_.config().min_children;
     // Fig. 8: "if Is_Better_MBR_Cover(p, q, l) then Adjust_Parent".
     if (is_better_mbr_cover(t + 1, q)) promote_child(t + 1, q);
@@ -505,6 +549,7 @@ void dr_peer::split_and_push(std::size_t h, peer_id extra,
   }
   if (auto* own = lp.find_inst(h - 1)) own->parent = leader;
   li.underloaded = li.children.size() < m_min;
+  lp.rebuild_summary(h);
 
   if (is_root_at(h)) {
     // Root split: "this process eventually stops with the split of the
@@ -518,6 +563,7 @@ void dr_peer::split_and_push(std::size_t h, peer_id extra,
     wi.add_child(leader);
     wi.mbr = join(ins.mbr, li.mbr);
     wi.underloaded = wi.children.size() < m_min;
+    wp.rebuild_summary(h + 1);
     ins.parent = winner;
     li.parent = winner;
   } else {
@@ -713,6 +759,7 @@ void dr_peer::compute_mbr(std::size_t h) {
   if (ins == nullptr) return;
   if (h == 0) {
     ins->mbr = filter_;
+    rebuild_summary(0);
     return;
   }
   auto r = box::empty();
@@ -725,7 +772,51 @@ void dr_peer::compute_mbr(std::size_t h) {
     }
     if (qi != nullptr) r = join(r, qi->mbr);
   }
+  const bool changed = ins->mbr != r;
   ins->mbr = r;
+  // Quiescent instances skip the full re-rasterization on most rounds:
+  // eager marks keep an unchanged-MBR summary sound, so only periodic
+  // tightening is needed (stale bits of departed subtrees).
+  constexpr std::uint64_t kSummaryRefreshStride = 8;
+  if (changed || ++summary_refresh_tick_ % kSummaryRefreshStride == 0) {
+    rebuild_summary(h);
+  }
+}
+
+// ------------------------------------- subtree summaries (DESIGN.md §9)
+
+void dr_peer::rebuild_summary(std::size_t h) {
+  const auto& cfg = overlay_.config();
+  if (cfg.summary == summary_mode::mbr) return;
+  auto* ins = find_inst(h);
+  if (ins == nullptr) return;
+  auto& s = ins->summary;
+  s.reset_frame(ins->mbr.clamped(cfg.workspace), cfg.summary_grid);
+  if (!s.valid()) return;
+  if (h == 0) {
+    s.mark_box(filter_);
+    return;
+  }
+  for (const auto q : ins->children) {
+    const instance* qi = nullptr;
+    if (q == pid()) {
+      qi = find_inst(h - 1);
+    } else if (sees(q)) {
+      qi = overlay_.peer(q).find_inst(h - 1);
+    }
+    if (qi != nullptr) s.merge(qi->summary, qi->mbr);
+  }
+}
+
+void dr_peer::summary_mark(instance& ins, const box& b) {
+  if (overlay_.config().summary == summary_mode::mbr) return;
+  ins.summary.mark_box(b);
+}
+
+bool dr_peer::admits(const instance& ins, const spatial::pt& v) const {
+  const auto mode = overlay_.config().summary;
+  if (mode == summary_mode::mbr) return ins.mbr.contains(v);
+  return summary_admits(mode, ins.summary, ins.mbr, v);
 }
 
 void dr_peer::check_mbr(std::size_t h) {
@@ -1159,13 +1250,41 @@ void dr_peer::publish(const spatial::event& ev) {
   record_instance_event(k, ev);
   forward_down(k, ev, 0);
   if (!is_root()) {
-    dr_msg m;
+    dr_event_msg m;
     m.kind = msg_kind::event_up;
     m.ev = ev;
-    m.h = k + 1;
-    m.hops_left = overlay_.config().max_route_hops;
+    m.h = static_cast<std::uint32_t>(k + 1);
+    m.hops_left =
+        static_cast<std::uint32_t>(overlay_.config().max_route_hops);
     m.hop = 1;
-    send_msg(inst(k).parent, m);
+    send_event(inst(k).parent, m);
+  }
+}
+
+void dr_peer::multi_publish(const spatial::event* evs, std::size_t n) {
+  while (n > dr_batch_msg::kMaxEvents) {
+    multi_publish(evs, dr_batch_msg::kMaxEvents);
+    evs += dr_batch_msg::kMaxEvents;
+    n -= dr_batch_msg::kMaxEvents;
+  }
+  if (n == 0) return;
+  const auto k = top();
+  for (std::size_t i = 0; i < n; ++i) {
+    already_seen(evs[i].id);
+    deliver_local(evs[i], 0);
+    record_instance_event(k, evs[i]);
+  }
+  fan_out_batch(k, evs, static_cast<std::uint32_t>(n), 0, kNoPeer);
+  if (!is_root()) {
+    dr_batch_msg m;
+    m.kind = msg_kind::batch_up;
+    m.count = static_cast<std::uint32_t>(n);
+    m.h = static_cast<std::uint32_t>(k + 1);
+    m.hops_left =
+        static_cast<std::uint32_t>(overlay_.config().max_route_hops);
+    m.hop = 1;
+    for (std::size_t i = 0; i < n; ++i) m.events[i] = evs[i];
+    send_batch(inst(k).parent, m);
   }
 }
 
@@ -1174,10 +1293,17 @@ void dr_peer::forward_down(std::size_t h, const spatial::event& ev,
   if (h == 0) return;
   const auto* ins = find_inst(h);
   if (ins == nullptr) return;
-  for (const auto q : ins->children) {
+  fan_out_children(*ins, h, ev, hop, kNoPeer);
+}
+
+void dr_peer::fan_out_children(const instance& ins, std::size_t h,
+                               const spatial::event& ev, std::size_t hop,
+                               peer_id skip) {
+  for (const auto q : ins.children) {
+    if (q == skip) continue;
     if (q == pid()) {
       const auto* own = find_inst(h - 1);
-      if (own != nullptr && own->mbr.contains(ev.value)) {
+      if (own != nullptr && admits(*own, ev.value)) {
         record_instance_event(h - 1, ev);
         forward_down(h - 1, ev, hop);
       }
@@ -1185,61 +1311,84 @@ void dr_peer::forward_down(std::size_t h, const spatial::event& ev,
     }
     if (!sees(q)) continue;
     const auto* qi = overlay_.peer(q).find_inst(h - 1);
-    if (qi == nullptr || !qi->mbr.contains(ev.value)) continue;
-    dr_msg m;
+    if (qi == nullptr || !admits(*qi, ev.value)) continue;
+    dr_event_msg m;
     m.kind = msg_kind::event_down;
     m.ev = ev;
-    m.h = h - 1;
-    m.hops_left = overlay_.config().max_route_hops;
-    m.hop = hop + 1;
-    send_msg(q, m);
+    m.h = static_cast<std::uint32_t>(h - 1);
+    m.hops_left =
+        static_cast<std::uint32_t>(overlay_.config().max_route_hops);
+    m.hop = static_cast<std::uint32_t>(hop + 1);
+    send_event(q, m);
   }
 }
 
-void dr_peer::handle_event_down(const dr_msg& m) {
+void dr_peer::fan_out_batch(std::size_t h, const spatial::event* evs,
+                            std::uint32_t n, std::size_t hop, peer_id skip) {
+  if (h == 0 || n == 0) return;
+  const auto* ins = find_inst(h);
+  if (ins == nullptr) return;
+  for (const auto q : ins->children) {
+    if (q == skip) continue;
+    if (q == pid()) {
+      const auto* own = find_inst(h - 1);
+      if (own == nullptr) continue;
+      // Own-chain descent stays in-process: filter into a stack-local
+      // sub-batch (recursion depth = tree height, so the stack cost is
+      // bounded and tiny).
+      spatial::event sub[dr_batch_msg::kMaxEvents];
+      std::uint32_t cnt = 0;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (!admits(*own, evs[i].value)) continue;
+        record_instance_event(h - 1, evs[i]);
+        sub[cnt++] = evs[i];
+      }
+      fan_out_batch(h - 1, sub, cnt, hop, kNoPeer);
+      continue;
+    }
+    if (!sees(q)) continue;
+    const auto* qi = overlay_.peer(q).find_inst(h - 1);
+    if (qi == nullptr) continue;
+    // Split point of the batch protocol: each child gets the subset its
+    // summary admits; children admitting nothing are pruned envelope-free.
+    dr_batch_msg m;
+    m.kind = msg_kind::batch_down;
+    m.h = static_cast<std::uint32_t>(h - 1);
+    m.hops_left =
+        static_cast<std::uint32_t>(overlay_.config().max_route_hops);
+    m.hop = static_cast<std::uint32_t>(hop + 1);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (admits(*qi, evs[i].value)) m.events[m.count++] = evs[i];
+    }
+    if (m.count == 0) continue;
+    send_batch(q, m);
+  }
+}
+
+void dr_peer::handle_event_down(const dr_event_msg& m) {
   if (already_seen(m.ev.id)) return;
   deliver_local(m.ev, m.hop);
   // The addressed instance can have been dissolved by a concurrent
   // promotion/compaction; fall back to the current top so the event still
   // reaches this peer's (re-homed) subtree — no false negatives from
   // in-flight reconfiguration.
-  const std::size_t h = std::min(m.h, top());
+  const std::size_t h = std::min<std::size_t>(m.h, top());
   record_instance_event(h, m.ev);
   forward_down(h, m.ev, m.hop);
 }
 
-void dr_peer::handle_event_up(peer_id from, const dr_msg& m) {
+void dr_peer::handle_event_up(peer_id from, const dr_event_msg& m) {
   if (already_seen(m.ev.id)) return;
   deliver_local(m.ev, m.hop);
   peer_id from_child = from;
-  std::size_t h = std::min(m.h, top());  // instance may have dissolved
+  std::size_t h = std::min<std::size_t>(m.h, top());  // may have dissolved
   std::size_t hops = m.hops_left;
   while (true) {
     const auto* ins = find_inst(h);
     if (ins == nullptr) return;
     record_instance_event(h, m.ev);
     // "down every sibling subtree encountered on the path to the root".
-    for (const auto q : ins->children) {
-      if (q == from_child) continue;
-      if (q == pid()) {
-        const auto* own = find_inst(h - 1);
-        if (own != nullptr && own->mbr.contains(m.ev.value)) {
-          record_instance_event(h - 1, m.ev);
-          forward_down(h - 1, m.ev, m.hop);
-        }
-        continue;
-      }
-      if (!sees(q)) continue;
-      const auto* qi = overlay_.peer(q).find_inst(h - 1);
-      if (qi == nullptr || !qi->mbr.contains(m.ev.value)) continue;
-      dr_msg down;
-      down.kind = msg_kind::event_down;
-      down.ev = m.ev;
-      down.h = h - 1;
-      down.hops_left = overlay_.config().max_route_hops;
-      down.hop = m.hop + 1;
-      send_msg(q, down);
-    }
+    fan_out_children(*ins, h, m.ev, m.hop, from_child);
     if (ins->parent == pid()) {
       if (h < top()) {
         from_child = pid();  // continue up this peer's own chain
@@ -1249,11 +1398,66 @@ void dr_peer::handle_event_up(peer_id from, const dr_msg& m) {
       return;  // reached the root
     }
     if (hops == 0) return;
-    dr_msg up = m;
-    up.h = h + 1;
-    up.hops_left = hops - 1;
+    dr_event_msg up = m;
+    up.h = static_cast<std::uint32_t>(h + 1);
+    up.hops_left = static_cast<std::uint32_t>(hops - 1);
     up.hop = m.hop + 1;
-    send_msg(ins->parent, up);
+    send_event(ins->parent, up);
+    return;
+  }
+}
+
+void dr_peer::handle_batch_down(const dr_batch_msg& m) {
+  // Per-event dedup: the scalar path drops a whole message when its event
+  // was seen; here each event is filtered individually so a batch merging
+  // seen and fresh events still delivers exactly the fresh subset.
+  spatial::event fresh[dr_batch_msg::kMaxEvents];
+  std::uint32_t cnt = 0;
+  for (std::uint32_t i = 0; i < m.count; ++i) {
+    if (already_seen(m.events[i].id)) continue;
+    deliver_local(m.events[i], m.hop);
+    fresh[cnt++] = m.events[i];
+  }
+  if (cnt == 0) return;
+  const std::size_t h = std::min<std::size_t>(m.h, top());
+  for (std::uint32_t i = 0; i < cnt; ++i) record_instance_event(h, fresh[i]);
+  fan_out_batch(h, fresh, cnt, m.hop, kNoPeer);
+}
+
+void dr_peer::handle_batch_up(peer_id from, const dr_batch_msg& m) {
+  spatial::event fresh[dr_batch_msg::kMaxEvents];
+  std::uint32_t cnt = 0;
+  for (std::uint32_t i = 0; i < m.count; ++i) {
+    if (already_seen(m.events[i].id)) continue;
+    deliver_local(m.events[i], m.hop);
+    fresh[cnt++] = m.events[i];
+  }
+  if (cnt == 0) return;
+  peer_id from_child = from;
+  std::size_t h = std::min<std::size_t>(m.h, top());
+  std::size_t hops = m.hops_left;
+  while (true) {
+    const auto* ins = find_inst(h);
+    if (ins == nullptr) return;
+    for (std::uint32_t i = 0; i < cnt; ++i) record_instance_event(h, fresh[i]);
+    fan_out_batch(h, fresh, cnt, m.hop, from_child);
+    if (ins->parent == pid()) {
+      if (h < top()) {
+        from_child = pid();
+        ++h;
+        continue;
+      }
+      return;
+    }
+    if (hops == 0) return;
+    dr_batch_msg up;
+    up.kind = msg_kind::batch_up;
+    up.count = cnt;
+    up.h = static_cast<std::uint32_t>(h + 1);
+    up.hops_left = static_cast<std::uint32_t>(hops - 1);
+    up.hop = m.hop + 1;
+    for (std::uint32_t i = 0; i < cnt; ++i) up.events[i] = fresh[i];
+    send_batch(ins->parent, up);
     return;
   }
 }

@@ -16,6 +16,7 @@
 #ifndef DRT_ENGINE_BACKEND_H
 #define DRT_ENGINE_BACKEND_H
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -136,6 +137,28 @@ class backend {
   /// Publish from `publisher` (must be alive) and drain the network.
   virtual delivery_report publish(sub_id publisher,
                                   const spatial::pt& value) = 0;
+
+  /// Publish `n` events from one publisher as a batch and drain once,
+  /// returning ONE aggregated report (per-event sums; messages = total
+  /// network cost of the whole batch).  Backends with a native batch path
+  /// (the DR-tree's multi_publish envelopes) override this; the default
+  /// is the semantic baseline — n scalar publishes — so every backend
+  /// accepts batch scenarios and the comparison stays honest.
+  virtual delivery_report publish_batch(sub_id publisher,
+                                        const spatial::pt* values,
+                                        std::size_t n) {
+    delivery_report total;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto r = publish(publisher, values[i]);
+      total.interested += r.interested;
+      total.delivered += r.delivered;
+      total.false_positives += r.false_positives;
+      total.false_negatives += r.false_negatives;
+      total.messages += r.messages;
+      total.max_hops = std::max(total.max_hops, r.max_hops);
+    }
+    return total;
+  }
 
   // --------------------------------------------------------- execution
   /// Drain in-flight protocol work (no-op for structural baselines).

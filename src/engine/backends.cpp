@@ -8,6 +8,7 @@
 #include "baselines/zcurve_dht.h"
 #include "drtree/checker.h"
 #include "drtree/corruptor.h"
+#include "drtree/messages.h"
 #include "engine/scenario.h"
 #include "util/expect.h"
 
@@ -144,6 +145,23 @@ delivery_report drtree_backend::publish(sub_id publisher,
   d.false_negatives = r.false_negatives;
   d.messages = r.messages;
   d.max_hops = r.max_hops;
+  return d;
+}
+
+delivery_report drtree_backend::publish_batch(sub_id publisher,
+                                              const spatial::pt* values,
+                                              std::size_t n) {
+  const auto results = overlay_->multi_publish_and_drain(
+      static_cast<spatial::peer_id>(publisher), values, n);
+  delivery_report d;
+  for (const auto& r : results) {
+    d.interested += r.interested;
+    d.delivered += r.delivered;
+    d.false_positives += r.false_positives;
+    d.false_negatives += r.false_negatives;
+    d.messages += r.messages;
+    d.max_hops = std::max(d.max_hops, r.max_hops);
+  }
   return d;
 }
 
@@ -305,6 +323,52 @@ delivery_report sharded_drtree_backend::publish(sub_id publisher,
   return rep;
 }
 
+delivery_report sharded_drtree_backend::publish_batch(
+    sub_id publisher, const spatial::pt* values, std::size_t n) {
+  if (n == 0) return {};
+  const auto& sl = at(publisher);
+  std::vector<std::uint64_t> ids(n);
+  for (auto& id : ids) id = next_event_id_++;
+  std::vector<spatial::pt> vals(values, values + n);
+  std::vector<std::uint64_t> before(overlays_.size(), 0);
+  for (std::size_t i = 0; i < overlays_.size(); ++i) {
+    before[i] = overlays_[i]->sim().metrics().messages_sent;
+  }
+  overlays_[sl.shard]->multi_publish_begin(sl.local, ids.data(), vals.data(),
+                                           n);
+  for (std::size_t d = 0; d < overlays_.size(); ++d) {
+    if (d == sl.shard) continue;
+    // One cross-shard injection per shard carries the whole batch — the
+    // sharded analogue of the batch envelope's single descent.
+    kernel_.post(sl.shard, d, overlay::dr_batch_msg::bytes_for(n),
+                 [this, d, ids, vals](sim::simulator&) {
+                   overlays_[d]->inject_multi_publish(ids.data(), vals.data(),
+                                                      ids.size());
+                 });
+  }
+  kernel_.settle();
+
+  delivery_report rep;
+  for (std::size_t i = 0; i < overlays_.size(); ++i) {
+    const auto after = overlays_[i]->sim().metrics().messages_sent;
+    rep.messages += after - before[i];
+    for (std::size_t e = 0; e < n; ++e) {
+      // `after` as the baseline zeroes the per-event message delta; the
+      // shard's batch total was added once above.
+      const auto r = overlays_[i]->publish_finish(ids[e], vals[e], after);
+      rep.interested += r.interested;
+      rep.delivered += r.delivered;
+      rep.false_positives += r.false_positives;
+      rep.false_negatives += r.false_negatives;
+      rep.max_hops = std::max(rep.max_hops, r.max_hops);
+    }
+  }
+  if (overlays_.size() > 1) {
+    rep.messages += overlays_.size() - 1;  // the cross-shard injections
+  }
+  return rep;
+}
+
 void sharded_drtree_backend::step_round() {
   kernel_.advance(overlays_[0]->config().stabilize_period);
   kernel_.settle();
@@ -454,6 +518,24 @@ delivery_report broker_backend::publish(sub_id publisher,
   d.false_negatives = out.client_false_negatives;
   d.messages = out.messages;
   d.max_hops = out.max_hops;
+  return d;
+}
+
+delivery_report broker_backend::publish_batch(sub_id publisher,
+                                              const spatial::pt* values,
+                                              std::size_t n) {
+  const auto it = handles_.find(publisher);
+  DRT_EXPECT(it != handles_.end());
+  const auto outs = broker_->publish_batch(it->second.client, values, n);
+  delivery_report d;
+  for (const auto& out : outs) {
+    d.interested += out.matching_clients;
+    d.delivered += out.notified.size();
+    d.false_positives += out.client_false_positives;
+    d.false_negatives += out.client_false_negatives;
+    d.messages += out.messages;
+    d.max_hops = std::max(d.max_hops, out.max_hops);
+  }
   return d;
 }
 

@@ -65,6 +65,8 @@ class drtree_backend final : public backend {
   sub_id root() const override;
 
   delivery_report publish(sub_id publisher, const spatial::pt& value) override;
+  delivery_report publish_batch(sub_id publisher, const spatial::pt* values,
+                                std::size_t n) override;
 
   void settle() override { overlay_->settle(); }
   void step_round() override;
@@ -116,6 +118,8 @@ class sharded_drtree_backend final : public backend {
   sub_id root() const override;
 
   delivery_report publish(sub_id publisher, const spatial::pt& value) override;
+  delivery_report publish_batch(sub_id publisher, const spatial::pt* values,
+                                std::size_t n) override;
 
   void settle() override { kernel_.settle(); }
   void step_round() override;
@@ -175,6 +179,8 @@ class broker_backend final : public backend {
   sub_id root() const override;
 
   delivery_report publish(sub_id publisher, const spatial::pt& value) override;
+  delivery_report publish_batch(sub_id publisher, const spatial::pt* values,
+                                std::size_t n) override;
 
   void settle() override { broker_->raw_overlay().settle(); }
   void step_round() override;

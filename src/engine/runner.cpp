@@ -66,6 +66,52 @@ sweep_stats scenario_runner::do_sweep(phase_ctx ctx, std::size_t count,
   return acc;
 }
 
+sweep_stats scenario_runner::do_batch_sweep(phase_ctx ctx,
+                                            const publish_batch_phase& p,
+                                            phase_metrics* out) {
+  sweep_stats acc;
+  const auto live = be_.active();
+  const std::size_t batch = p.batch == 0 ? 1 : p.batch;
+  if (!live.empty()) {
+    acc.population = live.size();
+    std::vector<spatial::pt> values;
+    values.reserve(batch);
+    for (std::size_t done = 0; done < p.count;) {
+      const auto publisher = live[ctx.rng.index(live.size())];
+      const std::size_t n = std::min(batch, p.count - done);
+      // Draw the batch's values whether or not the publisher is still
+      // alive, so the RNG stream (and thus every later pick) does not
+      // depend on backend-internal liveness.
+      values.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        values.push_back(workload::make_event_point(
+            p.family, ctx.rng, ctx.profile.subs.workspace, ctx.filters));
+      }
+      done += n;
+      if (!be_.alive(publisher)) continue;
+      const auto r = be_.publish_batch(publisher, values.data(), n);
+      acc.events += n;
+      acc.deliveries += r.delivered;
+      acc.interested += r.interested;
+      acc.false_positives += r.false_positives;
+      acc.false_negatives += r.false_negatives;
+      acc.messages += r.messages;
+      acc.hops_total += r.max_hops;
+      acc.max_hops = std::max(acc.max_hops, r.max_hops);
+    }
+  }
+  if (out != nullptr) {
+    out->events += acc.events;
+    out->deliveries += acc.deliveries;
+    out->interested += acc.interested;
+    out->false_positives += acc.false_positives;
+    out->false_negatives += acc.false_negatives;
+    out->max_hops = std::max(out->max_hops,
+                             static_cast<std::size_t>(acc.max_hops));
+  }
+  return acc;
+}
+
 int scenario_runner::do_converge(int max_rounds, phase_metrics* out) {
   int result = -1;
   for (int round = 0; round <= max_rounds; ++round) {
@@ -286,6 +332,8 @@ void scenario_runner::execute(phase_ctx ctx, const phase& p,
     do_populate(ctx, pop->count, pop->filters, &m);
   } else if (const auto* sweep = std::get_if<publish_sweep_phase>(&p)) {
     do_sweep(ctx, sweep->count, sweep->family, &m);
+  } else if (const auto* bsweep = std::get_if<publish_batch_phase>(&p)) {
+    do_batch_sweep(ctx, *bsweep, &m);
   } else if (const auto* churn = std::get_if<churn_wave_phase>(&p)) {
     if (be_.can(cap_unsubscribe)) {
       do_churn(ctx, *churn, &m);
@@ -387,6 +435,13 @@ sub_id scenario_runner::add(const spatial::box& filter) {
 sweep_stats scenario_runner::publish_sweep(std::size_t count,
                                            workload::event_family family) {
   return do_sweep(own_ctx(), count, family, nullptr);
+}
+
+sweep_stats scenario_runner::publish_batch(std::size_t count,
+                                           std::size_t batch,
+                                           workload::event_family family) {
+  return do_batch_sweep(own_ctx(), publish_batch_phase{count, batch, family},
+                        nullptr);
 }
 
 int scenario_runner::converge(int max_rounds) {

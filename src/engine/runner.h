@@ -61,6 +61,11 @@ class scenario_runner {
   sweep_stats publish_sweep(
       std::size_t count,
       workload::event_family family = workload::event_family::uniform);
+  /// Publish `count` events in batches of `batch` through the backend's
+  /// batch path (one random live publisher per batch).
+  sweep_stats publish_batch(
+      std::size_t count, std::size_t batch,
+      workload::event_family family = workload::event_family::uniform);
   /// Stabilization rounds until legal; rounds needed, or -1.
   int converge(int max_rounds);
   int converge() { return converge(config_.default_converge_rounds); }
@@ -118,6 +123,8 @@ class scenario_runner {
                                   phase_metrics* out);
   sweep_stats do_sweep(phase_ctx ctx, std::size_t count,
                        workload::event_family family, phase_metrics* out);
+  sweep_stats do_batch_sweep(phase_ctx ctx, const publish_batch_phase& p,
+                             phase_metrics* out);
   int do_converge(int max_rounds, phase_metrics* out);
   std::size_t do_churn(phase_ctx ctx, const churn_wave_phase& p,
                        phase_metrics* out);

@@ -18,6 +18,9 @@ struct phase_name_visitor {
   const char* operator()(const publish_sweep_phase&) const {
     return "publish_sweep";
   }
+  const char* operator()(const publish_batch_phase&) const {
+    return "publish_batch";
+  }
   const char* operator()(const churn_wave_phase&) const {
     return "churn_wave";
   }
@@ -110,6 +113,13 @@ scenario::builder& scenario::builder::subscribe(
 scenario::builder& scenario::builder::publish_sweep(
     std::size_t count, workload::event_family family) {
   scenario_.timeline.push_back(publish_sweep_phase{count, family});
+  return *this;
+}
+
+scenario::builder& scenario::builder::publish_batch(
+    std::size_t count, std::size_t batch, workload::event_family family) {
+  scenario_.timeline.push_back(
+      publish_batch_phase{count, batch == 0 ? 1 : batch, family});
   return *this;
 }
 

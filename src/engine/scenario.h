@@ -48,6 +48,17 @@ struct publish_sweep_phase {
   workload::event_family family = workload::event_family::uniform;
 };
 
+/// Publish `count` events in batches of `batch` from random live
+/// subscriptions (one publisher per batch), through the backend's batch
+/// path (DESIGN.md §9).  Accuracy accounting matches publish_sweep;
+/// backends without a native batch path fall back to per-event publishes,
+/// so the recorded message cost is what makes the comparison.
+struct publish_batch_phase {
+  std::size_t count = 0;
+  std::size_t batch = 16;
+  workload::event_family family = workload::event_family::uniform;
+};
+
 /// Interleaved joins and controlled leaves: each of `ops` operations is a
 /// join with probability `join_fraction` (forced while the population is
 /// below `min_population`), otherwise a leave of a random live
@@ -151,7 +162,7 @@ using phase =
                  crash_burst_phase, controlled_leave_wave_phase,
                  restart_burst_phase, corruption_burst_phase, converge_phase,
                  param_ramp_phase, step_rounds_phase, partition_phase,
-                 heal_phase, degrade_links_phase>;
+                 heal_phase, degrade_links_phase, publish_batch_phase>;
 
 /// Stable phase label used in metrics rows and digests.
 const char* phase_name(const phase& p);
@@ -211,6 +222,9 @@ class scenario::builder {
   builder& subscribe(std::vector<spatial::box> filters);
   builder& publish_sweep(
       std::size_t count,
+      workload::event_family family = workload::event_family::matching);
+  builder& publish_batch(
+      std::size_t count, std::size_t batch = 16,
       workload::event_family family = workload::event_family::matching);
   builder& churn_wave(std::size_t ops, double join_fraction = 0.5,
                       std::size_t min_population = 4);

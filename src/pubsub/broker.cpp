@@ -77,10 +77,8 @@ std::vector<spatial::box> broker::subscriptions_of(client_id client) const {
   return out;
 }
 
-publish_outcome broker::publish(client_id publisher,
-                                const spatial::pt& value) {
+peer_id broker::entry_peer(client_id publisher) {
   DRT_EXPECT(clients_.count(publisher) > 0);
-
   // Inject through one of the publisher's own subscribers when it has
   // any, otherwise through any live overlay peer (a pure producer).
   peer_id via = kNoPeer;
@@ -97,9 +95,32 @@ publish_outcome broker::publish(client_id publisher,
     });
     DRT_EXPECT(via != kNoPeer);
   }
+  return via;
+}
 
+publish_outcome broker::publish(client_id publisher,
+                                const spatial::pt& value) {
+  const auto via = entry_peer(publisher);
   const auto r = overlay_.publish_and_drain(via, value);
+  return outcome_for(r, via, value);
+}
 
+std::vector<publish_outcome> broker::publish_batch(client_id publisher,
+                                                   const spatial::pt* values,
+                                                   std::size_t n) {
+  std::vector<publish_outcome> out;
+  if (n == 0) return out;
+  const auto via = entry_peer(publisher);
+  const auto results = overlay_.multi_publish_and_drain(via, values, n);
+  out.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out.push_back(outcome_for(results[i], via, values[i]));
+  }
+  return out;
+}
+
+publish_outcome broker::outcome_for(const overlay::publish_result& r,
+                                    peer_id via, const spatial::pt& value) {
   publish_outcome out;
   out.event_id = r.event_id;
   out.messages = r.messages;

@@ -98,6 +98,15 @@ class broker {
   /// network.
   publish_outcome publish(client_id publisher, const spatial::pt& value);
 
+  /// Publish `n` events in one overlay batch (DESIGN.md §9): the events
+  /// share envelopes and tree descents, so the network cost is far below
+  /// n scalar publishes.  Returns one outcome per event with the same
+  /// client-level accounting as publish(); the shared batch message total
+  /// is reported on the FIRST outcome (0 on the rest).
+  std::vector<publish_outcome> publish_batch(client_id publisher,
+                                             const spatial::pt* values,
+                                             std::size_t n);
+
   // --------------------------------------------------------------- admin
   /// Run stabilization rounds until the overlay is legal (or the budget
   /// runs out); returns rounds or -1.
@@ -111,6 +120,14 @@ class broker {
   struct client_state {
     std::vector<spatial::peer_id> peers;  // live logical subscribers
   };
+
+  /// The overlay peer a publication from `publisher` enters through: one
+  /// of its own live subscribers when it has any, else any live peer.
+  spatial::peer_id entry_peer(client_id publisher);
+  /// Client-level aggregation of one drained overlay publication (the
+  /// shared back half of publish and publish_batch).
+  publish_outcome outcome_for(const overlay::publish_result& r,
+                              spatial::peer_id via, const spatial::pt& value);
 
   broker_config config_;
   overlay::dr_overlay overlay_;

@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -173,6 +174,35 @@ class envelope {
     envelope e;
     e.payload_ = hdr + 1;
     ::new (e.payload_) T(std::move(value));
+    return e;
+  }
+
+  /// Wrap only the first `payload_bytes` of `value` — the variable-size
+  /// variant of wrap() for fixed-capacity structs whose trailing array is
+  /// partially used (one batch envelope instead of k per-event blocks).
+  /// The pool block is sized to the used prefix, so a small batch rides a
+  /// small size class.  The receiver sees the payload through the normal
+  /// visit<T>() and must only read the initialized prefix (the struct's
+  /// own count field says how much that is).
+  template <typename T>
+  static envelope wrap_prefix(payload_pool& pool, const T& value,
+                              std::size_t payload_bytes) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "prefix wrapping memcpys raw bytes and never runs a "
+                  "destructor over the truncated tail");
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "over-aligned payloads are not supported");
+    DRT_EXPECT(payload_bytes <= sizeof(T));
+    const std::size_t bytes = sizeof(block_header) + payload_bytes;
+    auto* hdr = static_cast<block_header*>(pool.acquire(bytes));
+    hdr->pool = &pool;
+    hdr->destroy = nullptr;
+    hdr->tag = payload_tag_of<T>();
+    hdr->bytes = static_cast<std::uint32_t>(bytes);
+    envelope e;
+    e.payload_ = hdr + 1;
+    std::memcpy(e.payload_, &value, payload_bytes);
     return e;
   }
 

@@ -169,6 +169,16 @@ class simulator {
   }
   void send(process_id from, process_id to, std::uint64_t type);
 
+  /// Send only the initialized prefix of a fixed-capacity payload (see
+  /// envelope::wrap_prefix): a k-event batch rides one block sized to the
+  /// k events actually present, not to the struct's full capacity.
+  template <typename Payload>
+  void send_prefix(process_id from, process_id to, std::uint64_t type,
+                   const Payload& body, std::size_t payload_bytes) {
+    post_message(from, to, type,
+                 envelope::wrap_prefix(pool_, body, payload_bytes));
+  }
+
   /// The payload pool backing pooled sends (slab/footprint accounting).
   const payload_pool& pool() const { return pool_; }
 
