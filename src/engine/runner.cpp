@@ -368,7 +368,13 @@ void scenario_runner::execute(phase_ctx ctx, const phase& p,
   } else if (const auto* conv = std::get_if<converge_phase>(&p)) {
     do_converge(conv->max_rounds, &m);
   } else if (const auto* steps = std::get_if<step_rounds_phase>(&p)) {
-    do_steps(steps->rounds, &m);
+    if (be_.can(cap_stabilize)) {
+      do_steps(steps->rounds, &m);
+    } else {
+      // Backends without round semantics (net_backend: wall-clock drives
+      // stabilization) record an honest skip instead of a no-op row.
+      m.skipped = true;
+    }
   } else if (const auto* cut = std::get_if<partition_phase>(&p)) {
     if (be_.can(cap_partition)) {
       do_partition(ctx, cut->fraction, &m);

@@ -111,6 +111,9 @@ struct converge_phase {
 /// open (e.g. "stay partitioned for 8 periods") — converge would either
 /// exit immediately or burn its whole budget against a fault that
 /// cannot heal by stabilization alone.
+/// Requires cap_stabilize; on backends whose repair is not round-stepped
+/// (e.g. net_backend, where wall-clock drives the daemon's stabilizer)
+/// the phase is recorded with skipped=true instead of a no-op row.
 struct step_rounds_phase {
   int rounds = 1;
 };

@@ -1,0 +1,117 @@
+// Single-threaded readiness event loop for the service mode
+// (DESIGN.md §10): epoll on Linux, poll(2) everywhere (and on Linux under
+// `force_poll`, which CI uses to keep the fallback honest).
+//
+// This is the async substrate the daemon runs on instead of the
+// simulator's virtual clock: fd readiness callbacks, a hierarchical
+// timer wheel (rpc/timer_wheel.h) driven by the monotonic clock at 1 ms
+// ticks, and a posted-task queue.  Everything runs on the thread inside
+// run(); the only cross-thread entry points are stop() and post(), which
+// are lock/atomic-protected and wake the loop through a self-pipe.
+#ifndef DRT_RPC_EVENT_LOOP_H
+#define DRT_RPC_EVENT_LOOP_H
+
+#include <poll.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "rpc/timer_wheel.h"
+
+namespace drt::rpc {
+
+struct event_loop_config {
+  bool force_poll = false;  ///< use poll(2) even where epoll exists
+};
+
+class event_loop {
+ public:
+  static constexpr std::uint32_t kReadable = 1u << 0;
+  static constexpr std::uint32_t kWritable = 1u << 1;
+
+  /// Readiness callback; the mask is kReadable/kWritable bits (errors
+  /// and hangups surface as kReadable so the read() observes them).
+  using io_fn = std::function<void(std::uint32_t)>;
+
+  explicit event_loop(event_loop_config config = {});
+  ~event_loop();
+
+  event_loop(const event_loop&) = delete;
+  event_loop& operator=(const event_loop&) = delete;
+
+  // ------------------------------------------------------------- io fds
+  /// Register `fd` (must be non-blocking) for the interest bits.  One
+  /// watch per fd; re-watching an fd replaces it.
+  void watch(int fd, std::uint32_t interest, io_fn fn);
+  void set_interest(int fd, std::uint32_t interest);
+  /// Safe against the fd being in the current dispatch batch, and
+  /// against the fd number being reused by a later watch.
+  void unwatch(int fd);
+  std::size_t watched() const { return watches_.size(); }
+
+  // ------------------------------------------------------------- timers
+  timer_id after(std::uint64_t delay_ms, std::function<void()> fn);
+  timer_id every(std::uint64_t period_ms, std::function<void()> fn);
+  bool cancel(timer_id id) { return timers_.cancel(id); }
+  timer_wheel& timers() { return timers_; }
+
+  // -------------------------------------------------------------- tasks
+  /// Run `fn` on the loop thread at the end of the current (or next)
+  /// iteration.  Thread-safe.
+  void post(std::function<void()> fn);
+
+  // ----------------------------------------------------------- running
+  /// Drive until stop().  One call at a time, from one thread.
+  void run();
+  /// One poll/dispatch/timers/tasks iteration, waiting at most
+  /// `max_wait_ms` (the timer wheel may shorten the wait).  Returns the
+  /// number of callbacks dispatched.
+  std::size_t run_once(int max_wait_ms);
+  /// Thread- and signal-safe: flags the loop and wakes it.
+  void stop();
+  bool stopped() const { return stop_.load(std::memory_order_acquire); }
+
+  /// Milliseconds of monotonic time since construction == the timer
+  /// wheel's tick clock.
+  std::uint64_t now_ms() const;
+  bool using_epoll() const { return epoll_fd_ >= 0; }
+
+ private:
+  struct watch_state {
+    std::uint32_t interest = 0;
+    io_fn fn;
+  };
+
+  void arm(int fd, std::uint32_t interest, bool add);
+  std::size_t dispatch_ready(
+      const std::vector<std::pair<int, std::uint32_t>>& ready);
+  std::size_t drain_tasks();
+  int wait_budget_ms(int max_wait_ms) const;
+
+  event_loop_config config_;
+  std::chrono::steady_clock::time_point start_;
+  timer_wheel timers_;
+
+  std::unordered_map<int, watch_state> watches_;
+
+  int epoll_fd_ = -1;      ///< -1: poll fallback
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe; [0] read, [1] write
+
+  std::atomic<bool> stop_{false};
+  std::mutex tasks_mutex_;
+  std::vector<std::function<void()>> tasks_;
+
+  // Scratch buffers reused across iterations.
+  std::vector<std::pair<int, std::uint32_t>> ready_;
+  std::vector<struct pollfd> pollfds_;
+  std::vector<std::function<void()>> running_tasks_;
+};
+
+}  // namespace drt::rpc
+
+#endif  // DRT_RPC_EVENT_LOOP_H
