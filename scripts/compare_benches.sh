@@ -33,7 +33,7 @@ fi
 BASE_DIR="$1"
 CAND_DIR="$2"
 THRESHOLD="${3:-10}"
-TIER1="${DRT_TIER1_BENCHES:-sim_core rtree_ops search latency partition_stabilize million_peer publish_throughput net_throughput}"
+TIER1="${DRT_TIER1_BENCHES:-sim_core rtree_ops search latency partition_stabilize million_peer publish_throughput net_throughput quiescent_overhead}"
 
 [ -d "$BASE_DIR" ] || { echo "baseline dir '$BASE_DIR' not found" >&2; exit 2; }
 [ -d "$CAND_DIR" ] || { echo "candidate dir '$CAND_DIR' not found" >&2; exit 2; }

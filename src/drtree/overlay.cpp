@@ -1,6 +1,7 @@
 #include "drtree/overlay.h"
 
 #include <algorithm>
+#include <bit>
 #include <memory>
 
 #include "util/expect.h"
@@ -62,6 +63,14 @@ void dr_overlay::controlled_leave(peer_id p) {
   } else {
     peer(p).announce_leave();
   }
+  if (config_.stabilize == stabilize_mode::dirty) {
+    // The departure notifications mark their receivers when handled, but
+    // they can be lost in flight — mark the neighborhood directly too.
+    mark_neighbors_of(p);
+    for (const auto h : peer(p).instance_heights()) {
+      test_and_clear_dirty(peer(p).slot_for_mark(h));
+    }
+  }
   sim_.crash(p);
   // A controlled departure drops the filter from the ground-truth
   // index, so under churn it stays bounded by live + crashed peers
@@ -71,13 +80,32 @@ void dr_overlay::controlled_leave(peer_id p) {
   departed_.insert(p);
 }
 
-void dr_overlay::crash(peer_id p) { sim_.crash(p); }
+void dr_overlay::crash(peer_id p) {
+  if (config_.stabilize == stabilize_mode::dirty && alive(p)) {
+    // The crash purge is silent — no protocol message will ever tell the
+    // neighbors.  Mark them now, and drop the dead peer's own marks:
+    // nothing will consume them until a restart re-marks the chain.
+    mark_neighbors_of(p);
+    for (const auto h : peer(p).instance_heights()) {
+      test_and_clear_dirty(peer(p).slot_for_mark(h));
+    }
+  }
+  sim_.crash(p);
+}
 
 bool dr_overlay::partition(const std::vector<peer_id>& side_b) {
   std::vector<sim::process_id> ids;
   ids.reserve(side_b.size());
   for (const auto p : side_b) ids.push_back(static_cast<sim::process_id>(p));
-  return sim_.partition(ids);
+  const bool ok = sim_.partition(ids);
+  if (ok) mark_all_live();
+  return ok;
+}
+
+bool dr_overlay::heal_partition() {
+  const bool ok = sim_.heal_partition();
+  if (ok) mark_all_live();
+  return ok;
 }
 
 void dr_overlay::restart(peer_id p) {
@@ -318,6 +346,74 @@ void dr_overlay::inject_multi_publish(const std::uint64_t* event_ids,
     evs[i].value = values[i];
   }
   peer(target).multi_publish(evs.data(), n);
+}
+
+// ------------------------------------------------------------ dirty set
+
+void dr_overlay::mark_dirty(peer_id p, std::size_t height) {
+  if (config_.stabilize != stabilize_mode::dirty) return;
+  if (p == kNoPeer || static_cast<std::size_t>(p) >= sim_.process_count() ||
+      !sim_.is_alive(p)) {
+    return;
+  }
+  auto& pr = peer(p);
+  const auto s = pr.slot_for_mark(height);
+  if (s == kNoSlot) return;
+  const std::size_t w = s / 64;
+  if (w >= dirty_bits_.size()) dirty_bits_.resize(w + 1, 0);
+  const std::uint64_t mask = 1ull << (s % 64);
+  if ((dirty_bits_[w] & mask) == 0) {
+    dirty_bits_[w] |= mask;
+    dirty_ring_.push_back(s);
+    ++dirty_pending_;
+    ++stab_stats_.marks;
+    // A set bit means the owner has already been pulled in and not yet
+    // consumed it, so the nudge is only needed on the 0→1 edge.
+    pr.note_marked();
+  }
+}
+
+bool dr_overlay::test_and_clear_dirty(inst_slot s) {
+  if (s == kNoSlot) return false;
+  const std::size_t w = s / 64;
+  if (w >= dirty_bits_.size()) return false;
+  const std::uint64_t mask = 1ull << (s % 64);
+  if ((dirty_bits_[w] & mask) == 0) return false;
+  dirty_bits_[w] &= ~mask;
+  --dirty_pending_;
+  // The ring accumulates one (possibly stale) entry per 0→1 mark;
+  // rebuild it from the bitmap — O(set bits) — when mostly stale.
+  if (dirty_ring_.size() >= 64 &&
+      dirty_ring_.size() > 4 * dirty_pending_) {
+    dirty_ring_.clear();
+    for (std::size_t i = 0; i < dirty_bits_.size(); ++i) {
+      for (auto bits = dirty_bits_[i]; bits != 0; bits &= bits - 1) {
+        dirty_ring_.push_back(static_cast<inst_slot>(
+            i * 64 + static_cast<std::size_t>(std::countr_zero(bits))));
+      }
+    }
+  }
+  return true;
+}
+
+void dr_overlay::mark_neighbors_of(peer_id p) {
+  auto& pr = peer(p);
+  for (const auto h : pr.instance_heights()) {
+    const auto& ins = pr.inst(h);
+    if (ins.parent != kNoPeer && ins.parent != p) {
+      mark_dirty(ins.parent, h + 1);
+    }
+    if (h > 0) {
+      for (const auto c : ins.children) {
+        if (c != p) mark_dirty(c, h - 1);
+      }
+    }
+  }
+}
+
+void dr_overlay::mark_all_live() {
+  if (config_.stabilize != stabilize_mode::dirty) return;
+  for_each_live([this](peer_id id) { mark_dirty(id, 0); });
 }
 
 void dr_overlay::record_search_hit(std::uint64_t query_id, peer_id p,

@@ -38,6 +38,16 @@ struct publish_result {
   std::vector<spatial::peer_id> receivers;  ///< live peers that received it
 };
 
+/// Dirty-set scheduling counters (stabilize_mode::dirty, DESIGN.md §11).
+/// `visited` counts stabilize passes that actually ran (both modes);
+/// `skipped` counts periodic ticks a clean peer jumped over; `marks`
+/// counts bitmap 0→1 transitions.
+struct stabilize_stats {
+  std::uint64_t marks = 0;
+  std::uint64_t visited = 0;
+  std::uint64_t skipped = 0;
+};
+
 class dr_overlay {
  public:
   explicit dr_overlay(dr_config config = {}, sim::simulator_config sim = {});
@@ -89,7 +99,7 @@ class dr_overlay {
   /// reachability oracle; the contact oracle then only hands out
   /// same-side contacts, so rejoins stay within the joiner's side.
   bool partition(const std::vector<spatial::peer_id>& side_b);
-  bool heal_partition() { return sim_.heal_partition(); }
+  bool heal_partition();
   bool degrade_links(double latency_factor, double extra_loss,
                      sim::sim_time ramp) {
     return sim_.degrade_links(latency_factor, extra_loss, ramp);
@@ -222,6 +232,41 @@ class dr_overlay {
   instance_arena& arena() { return arena_; }
   const instance_arena& arena() const { return arena_; }
 
+  // ---------------------------------------------------------- dirty set
+  // Dirty-set scheduling (stabilize_mode::dirty, DESIGN.md §11): a bitmap
+  // over arena slots plus a mark-order ring.  Every protocol mutation
+  // that can invalidate an invariant marks the instances it touched; a
+  // peer's periodic pass consumes its own marks and a clean peer skips
+  // ahead to its next background-sweep tick.  All of this is a no-op in
+  // full mode.
+
+  /// Mark `p`'s instance at `height` dirty (nearest existing height when
+  /// the exact one is missing — the leaf always exists).  Nudges the
+  /// peer's stabilize timer forward when it was armed past the next tick.
+  void mark_dirty(spatial::peer_id p, std::size_t height);
+
+  /// Pass-start consumption: clear the slot's bit, returning whether it
+  /// was set.  Called by the owning peer for each of its instances.
+  bool test_and_clear_dirty(inst_slot s);
+
+  /// Whether the slot is currently marked (no state change).
+  bool is_dirty(inst_slot s) const {
+    const std::size_t w = s / 64;
+    return w < dirty_bits_.size() &&
+           (dirty_bits_[w] & (1ull << (s % 64))) != 0;
+  }
+
+  /// Slots currently marked (the kernel skips shards where this is 0 and
+  /// drtd reschedules its wall-clock stabilizer against it).
+  std::size_t dirty_pending() const { return dirty_pending_; }
+
+  /// Marked slots in mark order (may contain already-cleared entries
+  /// until the next compaction; callers re-check the bitmap).
+  const std::vector<inst_slot>& dirty_ring() const { return dirty_ring_; }
+
+  stabilize_stats& stab_stats() { return stab_stats_; }
+  const stabilize_stats& stab_stats() const { return stab_stats_; }
+
   /// Drain all in-flight work (join/leave/repair messages).
   std::uint64_t settle(std::uint64_t max_steps = 1000000) {
     return sim_.run_steps(max_steps);
@@ -233,6 +278,13 @@ class dr_overlay {
   oracle_mode oracle = oracle_mode::random_live;
 
  private:
+  /// Dirty-mark every neighbor of `p` (parent above each instance, every
+  /// child below) before a silent departure purges its links.
+  void mark_neighbors_of(spatial::peer_id p);
+  /// Reachability changed globally (partition installed or healed):
+  /// every live peer must re-check against the new oracle.
+  void mark_all_live();
+
   dr_config config_;
   /// Declared before sim_: the simulator owns the dr_peer processes,
   /// whose destructors release their arena slots, so the arena must
@@ -251,6 +303,12 @@ class dr_overlay {
   std::unordered_map<std::uint64_t, std::unordered_set<spatial::peer_id>>
       search_hits_;
   std::unordered_map<std::uint64_t, std::size_t> search_hops_;
+
+  // Dirty-set state (empty and untouched in full mode).
+  std::vector<std::uint64_t> dirty_bits_;  ///< one bit per arena slot
+  std::vector<inst_slot> dirty_ring_;      ///< marked slots in mark order
+  std::size_t dirty_pending_ = 0;          ///< set bits in dirty_bits_
+  stabilize_stats stab_stats_;
 };
 
 }  // namespace drt::overlay

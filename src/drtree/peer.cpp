@@ -87,6 +87,8 @@ instance& dr_peer::ensure_inst(std::size_t h) {
   const auto at = std::find_if(levels_.begin(), levels_.end(),
                                [h](const level_ref& r) { return r.height > h; });
   levels_.insert(at, {h, slot});
+  // A freshly created instance is unvalidated state: schedule its owner.
+  overlay_.mark_dirty(pid(), h);
   return overlay_.arena().at(slot);
 }
 
@@ -95,8 +97,12 @@ void dr_peer::erase_inst(std::size_t h) {
   const auto it = std::find_if(levels_.begin(), levels_.end(),
                                [h](const level_ref& r) { return r.height == h; });
   if (it == levels_.end()) return;
+  // A released slot may be reacquired by another peer: its dirty bit must
+  // not travel with it (and must not leak dirty_pending_).
+  overlay_.test_and_clear_dirty(it->slot);
   overlay_.arena().release(it->slot);
   levels_.erase(it);
+  overlay_.mark_dirty(pid(), 0);  // chain shape changed
 }
 
 std::size_t dr_peer::top() const {
@@ -120,20 +126,151 @@ std::vector<std::size_t> dr_peer::instance_heights() const {
   return out;
 }
 
+// --------------------------------- dirty-set scheduling (DESIGN.md §11)
+
+inst_slot dr_peer::slot_for_mark(std::size_t h) const {
+  const auto* ref = find_ref(h);
+  // The leaf is permanent and levels_ is ascending, so front() is the
+  // fallback for marks addressed at a height this peer no longer owns: a
+  // mark anywhere schedules the whole chain.
+  return ref != nullptr ? ref->slot : levels_.front().slot;
+}
+
+void dr_peer::note_marked() {
+  if (overlay_.config().stabilize != stabilize_mode::dirty) return;
+  if (stab_in_pass_) return;       // the pass-end re-arm sees the bit
+  if (stab_armed_idx_ < 0) return;  // on_start has not armed yet
+  stab_advance_chain_past(sim().now());
+  if (stab_armed_idx_ <= stab_tick_idx_) return;  // already due next tick
+  // Parked at a later background-sweep tick: pull the timer in.  The
+  // generation bump strands the parked one-shot; stab_arm targets the
+  // next tick because the chain is now dirty.
+  ++stab_gen_;
+  stab_arm();
+}
+
+void dr_peer::stab_advance_chain_past(sim::sim_time t) {
+  const auto period = overlay_.config().stabilize_period;
+  while (stab_tick_time_ <= t) {
+    stab_tick_time_ += period;  // same arithmetic as the periodic re-arm
+    ++stab_tick_idx_;
+  }
+}
+
+bool dr_peer::stab_chain_dirty() const {
+  for (const auto& ref : levels_) {
+    if (overlay_.is_dirty(ref.slot)) return true;
+  }
+  return false;
+}
+
+void dr_peer::stab_arm() {
+  const auto period = overlay_.config().stabilize_period;
+  std::int64_t target = stab_tick_idx_;
+  if (!stab_chain_dirty() && !is_root()) {
+    // Clean non-root: park at the next background-sweep tick.  The
+    // (idx + pid) % K stagger spreads the sweep so 1/K of a quiescent
+    // population runs per period.  Roots fire every tick — their probe
+    // is what lets detached fragments find the structure promptly, it
+    // keeps the dirty-mode repair schedule aligned with full mode's, and
+    // at one O(1) pass per period it never threatens the O(changed)
+    // bound.  (The probe send is exempted from the pass-end safety net,
+    // so an always-on root still reads as backlog-clean.)
+    const auto k = static_cast<std::int64_t>(
+        std::max<std::size_t>(std::size_t{1}, overlay_.config().sweep_stride));
+    const auto offs = (target + static_cast<std::int64_t>(pid())) % k;
+    if (offs != 0) target += k - offs;
+  }
+  stab_armed_idx_ = target;
+  const auto at =
+      stab_tick_time_ +
+      static_cast<sim::sim_time>(target - stab_tick_idx_) * period;
+  sim().schedule_quiet_timer(
+      id(), kTimerStabilize | (static_cast<std::uint64_t>(stab_gen_) << 32),
+      std::max<sim::sim_time>(0.0, at - sim().now()));
+}
+
+void dr_peer::stab_on_fire(std::uint32_t gen) {
+  if (gen != stab_gen_) return;  // superseded by a pull-in or restart
+  // Lazy skipped accounting: every tick between the last fired one and
+  // the one this timer targeted was a pass full mode would have run.
+  overlay_.stab_stats().skipped += static_cast<std::uint64_t>(
+      stab_armed_idx_ - (stab_last_fired_idx_ + 1));
+  stab_last_fired_idx_ = stab_armed_idx_;
+  stab_armed_idx_ = -1;
+  // Advance by index, not by time comparison: the fired tick is exactly
+  // stab_last_fired_idx_, so the chain stays bit-exact under float
+  // round-trips through the event queue.
+  {
+    const auto period = overlay_.config().stabilize_period;
+    while (stab_tick_idx_ <= stab_last_fired_idx_) {
+      stab_tick_time_ += period;
+      ++stab_tick_idx_;
+    }
+  }
+  // Consume this peer's marks up front; marks set during the pass (own
+  // repairs touching own slots) survive into stab_arm and schedule the
+  // revisit that drives repairs to a fixed point.
+  for (const auto& ref : levels_) overlay_.test_and_clear_dirty(ref.slot);
+  const auto msgs_before = sim().metrics().messages_sent;
+  const auto probes_before = stab_probe_msgs_;
+  const auto levels_before = levels_.size();
+  const auto& r = repairs_;
+  const auto repairs_before = r.mbr_fixed + r.own_chain_fixed + r.rejoins +
+                              r.children_discarded + r.instances_dissolved +
+                              r.cover_promotions + r.compactions +
+                              r.redistributions + r.subtree_dissolutions;
+  stab_in_pass_ = true;
+  stabilize_pass();
+  stab_in_pass_ = false;
+  const auto repairs_after = r.mbr_fixed + r.own_chain_fixed + r.rejoins +
+                             r.children_discarded + r.instances_dissolved +
+                             r.cover_promotions + r.compactions +
+                             r.redistributions + r.subtree_dissolutions;
+  // The root's discovery probe is the one send a pass performs even at a
+  // fixed point; exclude it or a stable root re-marks itself forever.
+  const auto probe_sends = stab_probe_msgs_ - probes_before;
+  if (sim().metrics().messages_sent - msgs_before != probe_sends ||
+      levels_.size() != levels_before || repairs_after != repairs_before) {
+    // The pass changed something: not at a fixed point yet, revisit next
+    // tick even if no marking site fired (safety net).
+    overlay_.mark_dirty(pid(), 0);
+  }
+  stab_arm();
+}
+
 // ----------------------------------------------------------- lifecycle
 
 void dr_peer::on_start() {
   inst(0).parent = pid();  // fragment root until attached
+  const auto period = overlay_.config().stabilize_period;
+  if (overlay_.config().stabilize == stabilize_mode::dirty) {
+    // Same phase draw as the periodic path (one uniform_real per
+    // on_start in both modes keeps the RNG streams aligned); the virtual
+    // tick chain replaces the periodic timer.  restart() re-enters here:
+    // the generation bump strands any timer of the previous incarnation.
+    const auto phase = sim().rng().uniform_real(0.1, period);
+    stab_tick_time_ = sim().now() + phase;
+    stab_tick_idx_ = 0;
+    stab_armed_idx_ = -1;
+    stab_last_fired_idx_ = -1;
+    ++stab_gen_;
+    // A freshly (re)started peer must stabilize promptly — its state may
+    // be a stale pre-crash snapshot.
+    overlay_.mark_dirty(pid(), 0);
+    stab_arm();
+    return;
+  }
   // (Re)arm the stabilization timer; restart() re-enters here, so cancel
   // any previous chain first.
   sim().cancel_periodic(id(), kTimerStabilize);
-  const auto period = overlay_.config().stabilize_period;
   sim().schedule_periodic(id(), kTimerStabilize, period,
                           sim().rng().uniform_real(0.1, period));
 }
 
 void dr_peer::start_join(peer_id contact) {
   inst(0).parent = pid();
+  overlay_.mark_dirty(pid(), 0);  // detached until the join lands
   if (contact == kNoPeer || contact == pid()) return;  // first peer: root
   dr_msg m;
   m.kind = msg_kind::join_request;
@@ -193,6 +330,8 @@ void dr_peer::leave_with_handoff() {
     }
     li.underloaded = li.children.size() < overlay_.config().min_children;
     lp.rebuild_summary(h);
+    overlay_.mark_dirty(leader, h);
+    for (const auto c : members) overlay_.mark_dirty(c, h - 1);
 
     if (upper == kNoPeer) {
       // Topmost instance: splice the leader where this peer was.
@@ -205,6 +344,7 @@ void dr_peer::leave_with_handoff() {
           if (auto* pi = overlay_.peer(old_parent).find_inst(h + 1)) {
             if (pi->remove_child(pid())) pi->add_child(leader);
             overlay_.peer(old_parent).compute_mbr(h + 1);
+            overlay_.mark_dirty(old_parent, h + 1);
           }
         }
       }
@@ -216,6 +356,7 @@ void dr_peer::leave_with_handoff() {
         overlay_.peer(upper).compute_mbr(h + 1);
         ui->underloaded =
             ui->children.size() < overlay_.config().min_children;
+        overlay_.mark_dirty(upper, h + 1);
       }
     }
     upper = leader;
@@ -223,7 +364,15 @@ void dr_peer::leave_with_handoff() {
 }
 
 void dr_peer::on_timer(std::uint64_t timer_type) {
-  if (timer_type == kTimerStabilize) stabilize_pass();
+  // Dirty-mode one-shots stamp their arming generation into the high 32
+  // bits of the type (full mode's periodic carries plain kTimerStabilize,
+  // i.e. generation bits 0), so both modes dispatch on the low half.
+  if ((timer_type & 0xffffffffull) != kTimerStabilize) return;
+  if (overlay_.config().stabilize == stabilize_mode::dirty) {
+    stab_on_fire(static_cast<std::uint32_t>(timer_type >> 32));
+  } else {
+    stabilize_pass();
+  }
 }
 
 bool dr_peer::sees(peer_id q) const { return overlay_.reachable(pid(), q); }
@@ -354,6 +503,7 @@ void dr_peer::descend_join(std::size_t h, dr_msg m) {
     // "adjusts its MBR in order to include the new subscription"
     ins->mbr = join(ins->mbr, m.mbr);
     summary_mark(*ins, m.mbr);
+    overlay_.mark_dirty(pid(), h);  // MBR grew on the descent path
     if (h == m.h + 1) {
       add_child_at(m.h, m.subject, m.mbr);
       return;
@@ -428,6 +578,9 @@ void dr_peer::root_grow(const dr_msg& m) {
   wp.rebuild_summary(h + 1);
   inst(h).parent = winner;
   qp.inst(h).parent = winner;
+  overlay_.mark_dirty(pid(), h);
+  overlay_.mark_dirty(q, h);
+  overlay_.mark_dirty(winner, h + 1);
 }
 
 void dr_peer::add_child_at(std::size_t t, peer_id q, const box& q_mbr) {
@@ -451,6 +604,8 @@ void dr_peer::add_child_at(std::size_t t, peer_id q, const box& q_mbr) {
   if (ins.has_child(q)) {
     if (auto* qi = qp.find_inst(t)) qi->parent = pid();
     compute_mbr(t + 1);
+    overlay_.mark_dirty(pid(), t + 1);
+    overlay_.mark_dirty(q, t);
     return;
   }
   if (ins.children.size() < overlay_.config().max_children) {
@@ -461,6 +616,8 @@ void dr_peer::add_child_at(std::size_t t, peer_id q, const box& q_mbr) {
     ins.mbr = join(ins.mbr, qi.mbr.is_empty() ? q_mbr : qi.mbr);
     summary_mark(ins, qi.mbr.is_empty() ? q_mbr : qi.mbr);
     ins.underloaded = ins.children.size() < overlay_.config().min_children;
+    overlay_.mark_dirty(pid(), t + 1);
+    overlay_.mark_dirty(q, t);
     // Fig. 8: "if Is_Better_MBR_Cover(p, q, l) then Adjust_Parent".
     if (is_better_mbr_cover(t + 1, q)) promote_child(t + 1, q);
   } else {
@@ -501,6 +658,8 @@ void dr_peer::split_and_push(std::size_t h, peer_id extra,
     qi.parent = pid();
     compute_mbr(h);
     ins.underloaded = ins.children.size() < m_min;
+    overlay_.mark_dirty(pid(), h);
+    overlay_.mark_dirty(extra, h - 1);
     return;
   }
 
@@ -523,9 +682,11 @@ void dr_peer::split_and_push(std::size_t h, peer_id extra,
     if (c == pid()) continue;
     auto& ci = overlay_.peer(c).ensure_inst(h - 1);
     ci.parent = pid();
+    overlay_.mark_dirty(c, h - 1);
   }
   compute_mbr(h);
   ins.underloaded = ins.children.size() < m_min;
+  overlay_.mark_dirty(pid(), h);
 
   // Elect the right group's leader (Fig. 6 root election) and hand it the
   // group.
@@ -546,10 +707,12 @@ void dr_peer::split_and_push(std::size_t h, peer_id extra,
     if (members[i] == leader) continue;
     auto& ci = overlay_.peer(members[i]).ensure_inst(h - 1);
     ci.parent = leader;
+    overlay_.mark_dirty(members[i], h - 1);
   }
   if (auto* own = lp.find_inst(h - 1)) own->parent = leader;
   li.underloaded = li.children.size() < m_min;
   lp.rebuild_summary(h);
+  overlay_.mark_dirty(leader, h);
 
   if (is_root_at(h)) {
     // Root split: "this process eventually stops with the split of the
@@ -566,6 +729,7 @@ void dr_peer::split_and_push(std::size_t h, peer_id extra,
     wp.rebuild_summary(h + 1);
     ins.parent = winner;
     li.parent = winner;
+    overlay_.mark_dirty(winner, h + 1);
   } else {
     // Push the new sibling up: "the other subtree is pushed backward to
     // p's parent".
@@ -633,6 +797,7 @@ void dr_peer::promote_child(std::size_t h, peer_id q) {
                            [x](const level_ref& r) { return r.height == x; });
     if (it == levels_.end()) continue;
     instance moved = std::move(overlay_.arena().at(it->slot));
+    overlay_.test_and_clear_dirty(it->slot);  // the slot may be reused
     overlay_.arena().release(it->slot);
     levels_.erase(it);
     // Children at x-1 >= h were this peer's instances and move to q too:
@@ -651,7 +816,10 @@ void dr_peer::promote_child(std::size_t h, peer_id q) {
       } else if (sees(c)) {
         ci = overlay_.peer(c).find_inst(x - 1);
       }
-      if (ci != nullptr) ci->parent = q;
+      if (ci != nullptr) {
+        ci->parent = q;
+        overlay_.mark_dirty(c, x - 1);
+      }
     }
     // Parent link of the moved instance.
     peer_id new_parent;
@@ -665,6 +833,7 @@ void dr_peer::promote_child(std::size_t h, peer_id q) {
       if (new_parent != kNoPeer && sees(new_parent)) {
         if (auto* up = overlay_.peer(new_parent).find_inst(x + 1)) {
           if (up->remove_child(pid())) up->add_child(q);
+          overlay_.mark_dirty(new_parent, x + 1);
         }
       }
     }
@@ -680,7 +849,9 @@ void dr_peer::promote_child(std::size_t h, peer_id q) {
       qlow->parent = q;
     }
     qp.compute_mbr(x);
+    overlay_.mark_dirty(q, x);
   }
+  overlay_.mark_dirty(pid(), 0);  // this peer's chain shrank
 }
 
 // ----------------------------------------------------- leave (Fig. 9)
@@ -689,6 +860,7 @@ void dr_peer::handle_leave(const dr_msg& m) {
   auto* ins = find_inst(m.h + 1);
   if (ins == nullptr) return;
   if (ins->remove_child(m.subject)) {
+    overlay_.mark_dirty(pid(), m.h + 1);
     compute_mbr(m.h + 1);
     // Fig. 9 re-checks its own state right away.
     check_children(m.h + 1);
@@ -707,6 +879,9 @@ void dr_peer::handle_leave(const dr_msg& m) {
 }
 
 void dr_peer::handle_check_structure_msg(const dr_msg& m) {
+  // Message-driven (not inside this peer's own pass): anything the module
+  // changes must reschedule us, same as the pass-end safety net does.
+  overlay_.mark_dirty(pid(), m.h);
   check_structure(m.h);
 }
 
@@ -741,6 +916,7 @@ void dr_peer::rejoin_fragment(std::size_t h) {
   if (ins == nullptr) return;
   ++repairs_.rejoins;
   ins->parent = pid();  // "the node sets itself as parent"
+  overlay_.mark_dirty(pid(), h);  // detached fragment: keep retrying
   const auto contact = overlay_.contact_node(pid());
   if (contact == kNoPeer || contact == pid()) return;
   dr_msg m;
@@ -1034,6 +1210,7 @@ void dr_peer::merge_children(std::size_t h, peer_id leader,
       if (auto* low = ap.find_inst(h - 1)) {
         low->parent = leader;
         li->add_child(absorbed);
+        overlay_.mark_dirty(absorbed, h - 1);
       }
       continue;
     }
@@ -1044,12 +1221,16 @@ void dr_peer::merge_children(std::size_t h, peer_id leader,
     } else if (sees(c)) {
       ci = overlay_.peer(c).find_inst(h - 1);
     }
-    if (ci != nullptr) ci->parent = leader;
+    if (ci != nullptr) {
+      ci->parent = leader;
+      overlay_.mark_dirty(c, h - 1);
+    }
   }
   ap.erase_inst(h);
   lp.compute_mbr(h);
   li->underloaded =
       li->children.size() < overlay_.config().min_children;
+  overlay_.mark_dirty(leader, h);
 
   // Update this (parent) node's own children list.
   if (auto* mine = find_inst(h + 1)) {
@@ -1057,6 +1238,7 @@ void dr_peer::merge_children(std::size_t h, peer_id leader,
     if (!mine->has_child(leader)) mine->add_child(leader);
     if (auto* lead_inst = lp.find_inst(h)) lead_inst->parent = pid();
     compute_mbr(h + 1);
+    overlay_.mark_dirty(pid(), h + 1);
   }
 }
 
@@ -1118,6 +1300,9 @@ bool dr_peer::redistribute(std::size_t h, peer_id needy) {
                                    : overlay_.peer(pick).find_inst(h - 2);
     if (ci != nullptr) ci->parent = needy;
     moved_any = true;
+    overlay_.mark_dirty(donor, h - 1);
+    overlay_.mark_dirty(needy, h - 1);
+    overlay_.mark_dirty(pick, h - 2);
 
     // Refresh MBRs and flags of both siblings.
     if (donor == pid()) {
@@ -1192,6 +1377,7 @@ void dr_peer::check_structure(std::size_t h) {
 }
 
 void dr_peer::stabilize_pass() {
+  ++overlay_.stab_stats().visited;
   const auto& sw = overlay_.config().stabilizers;
   // Snapshot the heights into reusable scratch (modules may erase
   // instances mid-pass; the old per-pass vector allocation is gone).
@@ -1224,6 +1410,11 @@ void dr_peer::stabilize_pass() {
       m.mbr = inst(top()).mbr;
       m.hops_left = overlay_.config().max_route_hops;
       send_msg(contact, m);
+      // Accounted separately so the dirty-mode safety net can tell this
+      // steady-state send apart from genuine repair traffic: a stable
+      // root's pass always sends its probe, and counting it as "the pass
+      // changed something" would re-mark the root forever.
+      ++stab_probe_msgs_;
     }
   }
 }
@@ -1558,6 +1749,9 @@ void dr_peer::record_instance_event(std::size_t h, const spatial::event& ev) {
   auto* ins = find_inst(h);
   if (ins == nullptr || h == 0) return;
   ++ins->events_seen;
+  // FP counters only matter once maybe_reorganize's threshold is met, and
+  // that runs inside the pass — schedule one when the budget fills.
+  if (ins->events_seen == kReorgMinEvents) overlay_.mark_dirty(pid(), h);
   if (!filter_.contains(ev.value)) ++ins->fp_self;
   for (const auto q : ins->children) {
     if (q == pid() || !sees(q)) continue;

@@ -84,6 +84,19 @@ class dr_peer : public sim::process {
 
   const repair_stats& repairs() const { return repairs_; }
 
+  // ------------------------------------- dirty-set scheduling (§11)
+  /// The arena slot dr_overlay::mark_dirty stamps for a mark at `h`:
+  /// the instance at that height when present, else the lowest owned
+  /// instance (the leaf always exists) — a mark anywhere schedules the
+  /// whole chain, so nearest-height resolution never loses a repair.
+  inst_slot slot_for_mark(std::size_t h) const;
+
+  /// Called by the overlay when one of this peer's slots transitions
+  /// clean→dirty: pulls the armed stabilize timer in to the next tick
+  /// when it was parked at a later background-sweep tick.  No-op in
+  /// full mode, during this peer's own pass, or before on_start armed.
+  void note_marked();
+
   // ------------------------------------------------- protocol (joins)
   /// Connect this peer (leaf) through `contact` (§3.2 "Joins").  Pass the
   /// peer's own id when it is the first/only node: it becomes the root.
@@ -260,6 +273,20 @@ class dr_peer : public sim::process {
   const level_ref* find_ref(std::size_t h) const;
   level_ref* find_ref(std::size_t h);
 
+  // Dirty-mode stabilize scheduling (DESIGN.md §11).  The peer keeps a
+  // virtual tick chain — tick i at phase + i*period, advanced stepwise
+  // with the same `+= period` arithmetic the periodic re-arm uses, so
+  // tick times are bit-identical across modes — and arms one quiet
+  // one-shot timer at either the next tick (chain dirty, or root: the
+  // probe keeps fragment discovery prompt and costs O(1) per period) or
+  // the next background-sweep tick with (idx + pid) % sweep_stride == 0.
+  // Timers carry the generation in the type's high 32 bits; a bumped
+  // generation strands any superseded timer.
+  void stab_advance_chain_past(sim::sim_time t);
+  bool stab_chain_dirty() const;
+  void stab_arm();
+  void stab_on_fire(std::uint32_t gen);
+
   dr_overlay& overlay_;
   spatial::box filter_;
   std::vector<level_ref> levels_;
@@ -280,6 +307,17 @@ class dr_peer : public sim::process {
   // the per-pass height snapshot of stabilize_pass.
   std::vector<std::size_t> search_scratch_;
   std::vector<std::size_t> heights_scratch_;
+
+  // Dirty-mode scheduling state (full mode never touches these).
+  sim::sim_time stab_tick_time_ = 0.0;  ///< time of tick stab_tick_idx_
+  std::int64_t stab_tick_idx_ = 0;      ///< next tick not yet passed
+  std::int64_t stab_armed_idx_ = -1;    ///< tick the live timer targets
+  std::int64_t stab_last_fired_idx_ = -1;
+  std::uint32_t stab_gen_ = 0;  ///< stamps quiet timers; bump = cancel
+  bool stab_in_pass_ = false;   ///< suppress pull-ins from own repairs
+  /// Root-probe sends (counted in both modes, read by the dirty-mode
+  /// safety net): the one message a fixed-point pass still emits.
+  std::uint64_t stab_probe_msgs_ = 0;
 };
 
 }  // namespace drt::overlay

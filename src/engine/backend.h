@@ -66,9 +66,13 @@ struct backend_shape {
 };
 
 /// Monotonic cost counters; the runner records per-phase deltas.
+/// Backends without a stabilizer leave the stabilize_* fields at their
+/// defaults, so those phases record 0 (not absent) in the metrics.
 struct backend_counters {
   std::uint64_t messages = 0;  ///< network messages spent so far (total)
   std::uint64_t rebuilds = 0;  ///< full structure rebuilds (baselines)
+  std::uint64_t stabilize_visited = 0;  ///< stabilize passes that ran
+  std::uint64_t stabilize_skipped = 0;  ///< dirty-mode ticks skipped
 };
 
 class backend {

@@ -179,7 +179,11 @@ backend_shape drtree_backend::shape() const {
 }
 
 backend_counters drtree_backend::counters() const {
-  return {overlay_->sim().metrics().messages_sent, 0};
+  backend_counters c;
+  c.messages = overlay_->sim().metrics().messages_sent;
+  c.stabilize_visited = overlay_->stab_stats().visited;
+  c.stabilize_skipped = overlay_->stab_stats().skipped;
+  return c;
 }
 
 // ----------------------------------------------- sharded_drtree_backend
@@ -409,9 +413,16 @@ backend_counters sharded_drtree_backend::counters() const {
   backend_counters c;
   for (const auto& ov : overlays_) {
     c.messages += ov->sim().metrics().messages_sent;
+    c.stabilize_visited += ov->stab_stats().visited;
+    c.stabilize_skipped += ov->stab_stats().skipped;
   }
   c.messages += kernel_.metrics().cross_messages;
   return c;
+}
+
+std::size_t sharded_drtree_backend::dirty_pending(std::size_t shard) const {
+  DRT_EXPECT(shard < overlays_.size());
+  return overlays_[shard]->dirty_pending();
 }
 
 overlay::arena_stats sharded_drtree_backend::arena_stats() const {
@@ -550,7 +561,11 @@ backend_shape broker_backend::shape() const {
 }
 
 backend_counters broker_backend::counters() const {
-  return {broker_->raw_overlay().sim().metrics().messages_sent, 0};
+  backend_counters c;
+  c.messages = broker_->raw_overlay().sim().metrics().messages_sent;
+  c.stabilize_visited = broker_->raw_overlay().stab_stats().visited;
+  c.stabilize_skipped = broker_->raw_overlay().stab_stats().skipped;
+  return c;
 }
 
 // ----------------------------------------------------- baseline_backend

@@ -132,6 +132,10 @@ class sharded_drtree_backend final : public backend {
   sim::kernel& kernel() { return kernel_; }
   const sim::kernel& kernel() const { return kernel_; }
 
+  /// Dirty-set backlog of one shard (stabilize_mode::dirty; always 0 in
+  /// full mode) — lets drivers see which shards still have repair work.
+  std::size_t dirty_pending(std::size_t shard) const;
+
   /// Total protocol-state footprint across all shard arenas.
   overlay::arena_stats arena_stats() const;
 

@@ -314,6 +314,11 @@ void scenario_runner::finish_row(phase_metrics& m,
   const auto after = be_.counters();
   m.messages = after.messages - before.messages;
   m.rebuilds = after.rebuilds - before.rebuilds;
+  // Backends without cap_stabilize never advance these counters, so the
+  // deltas record an explicit 0 (not an absent cell) — the schema stays
+  // uniform across backends.
+  m.stabilize_visited = after.stabilize_visited - before.stabilize_visited;
+  m.stabilize_skipped = after.stabilize_skipped - before.stabilize_skipped;
   m.population = be_.population();
 }
 

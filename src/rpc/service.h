@@ -72,6 +72,9 @@ class service {
     std::uint64_t protocol_errors = 0;
     std::uint64_t disconnect_unsubscribes = 0;
     std::uint64_t stabilize_rounds = 0;
+    /// Wall-clock stabilizer ticks skipped because the hosted overlay's
+    /// dirty backlog was empty (dirty mode only; see service.cpp).
+    std::uint64_t stabilize_skipped = 0;
   };
   /// Read after run() returned (or before it starts) — the counters
   /// belong to the loop thread while serving.
@@ -132,6 +135,7 @@ class service {
   /// Subscription owner index: sub id -> owning connection fd.
   std::unordered_map<engine::sub_id, int> owners_;
   counters stats_;
+  std::uint64_t stabilize_tick_ = 0;  ///< wall-clock stabilizer periods seen
   std::vector<std::byte> scratch_;  ///< frame-encode scratch
   std::vector<int> scratch_fds_;    ///< reap() collection scratch
 };

@@ -55,7 +55,12 @@ struct pending_event {
   std::uint64_t generation = 0;  ///< periodic only
   process_id from = kNoProcess;
   process_id to = kNoProcess;
-  enum class kind : std::uint8_t { message, timer, periodic };
+  /// `quiet` is a one-shot timer that does not count toward the
+  /// simulator's pending-work total: run_steps()-style quiescence
+  /// detection ignores it, the way it ignores periodics.  Dirty-mode
+  /// stabilization timers ride this kind so an armed future pass never
+  /// keeps settle() spinning.
+  enum class kind : std::uint8_t { message, timer, periodic, quiet };
   kind what = kind::message;
 };
 static_assert(sizeof(pending_event) == 64);

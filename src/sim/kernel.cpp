@@ -57,6 +57,18 @@ void kernel::run_pass(const std::function<void(std::size_t)>& fn) {
   for (auto& w : workers) w.join();
 }
 
+void kernel::run_pass_on(const std::vector<std::size_t>& idx,
+                         const std::function<void(std::size_t)>& fn) {
+  if (!config_.parallel || idx.size() <= 1) {
+    for (const auto i : idx) fn(i);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(idx.size());
+  for (const auto i : idx) workers.emplace_back([&fn, i] { fn(i); });
+  for (auto& w : workers) w.join();
+}
+
 std::uint64_t kernel::settle(std::uint64_t max_steps) {
   if (sims_.size() == 1) {
     // Single shard: any buffered injections run now, then the plain
@@ -96,7 +108,22 @@ void kernel::advance(sim_time dt) {
     const sim_time step = std::min(config_.window, dt - done);
     done += step;
     flush();
-    run_pass([&](std::size_t i) { shard(i).run_until(start[i] + done); });
+    // Dispatch a worker only where an event is actually due inside the
+    // window; an idle shard just gets its clock moved (one queue peek).
+    // This is what makes a quiescent forest cheap under dirty-mode
+    // stabilization: parked timers push next_event_time() K periods
+    // out, so clean shards fall through to the inline branch.
+    active_scratch_.clear();
+    for (std::size_t i = 0; i < sims_.size(); ++i) {
+      if (shard(i).next_event_time() <= start[i] + done) {
+        active_scratch_.push_back(i);
+      } else {
+        shard(i).run_until(start[i] + done);
+        ++metrics_.shard_windows_idle;
+      }
+    }
+    run_pass_on(active_scratch_,
+                [&](std::size_t i) { shard(i).run_until(start[i] + done); });
     ++metrics_.windows;
     ++metrics_.barriers;
   }

@@ -52,6 +52,11 @@ struct kernel_metrics {
   std::uint64_t cross_bytes = 0;     ///< payload bytes carried by them
   std::uint64_t windows = 0;         ///< advance() windows executed
   std::uint64_t barriers = 0;        ///< injection-exchange points
+  /// Shard-windows where the shard had no event due and was advanced
+  /// inline (no worker dispatched).  With dirty-mode stabilization a
+  /// quiescent shard's timers park K periods out, so this is the
+  /// mechanism by which clean shards cost ~nothing per round.
+  std::uint64_t shard_windows_idle = 0;
 };
 
 class kernel {
@@ -94,6 +99,10 @@ class kernel {
   /// Run fn(shard_index) for every shard, on worker threads when
   /// configured.  fn must touch only that shard's simulator.
   void run_pass(const std::function<void(std::size_t)>& fn);
+  /// Same, but only for the listed shards (advance() dispatches workers
+  /// only where an event is actually due inside the window).
+  void run_pass_on(const std::vector<std::size_t>& idx,
+                   const std::function<void(std::size_t)>& fn);
 
   struct injection {
     std::uint64_t bytes = 0;
@@ -103,6 +112,7 @@ class kernel {
   kernel_config config_;
   std::vector<simulator*> sims_;
   std::vector<std::vector<injection>> inbox_;  ///< per destination shard
+  std::vector<std::size_t> active_scratch_;    ///< advance() due-shard list
   kernel_metrics metrics_;
 };
 

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace drt::sim {
 
@@ -165,6 +166,19 @@ void simulator::schedule_timer(process_id target, std::uint64_t timer_type,
   push_event(std::move(ev));
 }
 
+void simulator::schedule_quiet_timer(process_id target,
+                                     std::uint64_t timer_type,
+                                     sim_time delay) {
+  DRT_EXPECT(target < processes_.size());
+  DRT_EXPECT(delay >= 0.0);
+  pending_event ev;
+  ev.at = now_ + delay;
+  ev.what = pending_event::kind::quiet;
+  ev.to = target;
+  ev.type = timer_type;
+  push_event(std::move(ev));
+}
+
 void simulator::schedule_periodic(process_id target, std::uint64_t timer_type,
                                   sim_time period, sim_time phase) {
   DRT_EXPECT(target < processes_.size());
@@ -187,14 +201,18 @@ void simulator::cancel_periodic(process_id target, std::uint64_t timer_type) {
 
 void simulator::push_event(pending_event ev) {
   ev.seq = next_seq_++;
-  if (ev.what != pending_event::kind::periodic) ++pending_work_;
+  if (ev.what == pending_event::kind::message ||
+      ev.what == pending_event::kind::timer) {
+    ++pending_work_;
+  }
   queue_.push(std::move(ev));
 }
 
 bool simulator::pop_and_execute() {
   if (queue_.empty()) return false;
   pending_event ev = queue_.pop();
-  if (ev.what != pending_event::kind::periodic) {
+  if (ev.what == pending_event::kind::message ||
+      ev.what == pending_event::kind::timer) {
     DRT_ENSURE(pending_work_ > 0);
     --pending_work_;
   }
@@ -225,6 +243,7 @@ bool simulator::pop_and_execute() {
       }
       return true;
     case pending_event::kind::timer:
+    case pending_event::kind::quiet:
       if (!target.alive_) return true;
       ++metrics_.timers_fired;
       ++metrics_.handler_steps;
@@ -254,6 +273,12 @@ bool simulator::pop_and_execute() {
     }
   }
   return true;
+}
+
+sim_time simulator::next_event_time() {
+  const pending_event* top = queue_.peek();
+  return top != nullptr ? top->at
+                        : std::numeric_limits<sim_time>::infinity();
 }
 
 void simulator::run_until(sim_time until) {

@@ -234,6 +234,13 @@ class simulator {
   /// One-shot timer for `target` after `delay`.
   void schedule_timer(process_id target, std::uint64_t timer_type,
                       sim_time delay);
+  /// One-shot timer that — like a periodic — does NOT count toward
+  /// pending_work(): run_steps()-style quiescence ignores it, and it is
+  /// silently dropped if the target is dead when it comes due.  The
+  /// dirty-mode stabilizer arms its future passes with these, so an
+  /// armed pass never keeps settle() spinning.
+  void schedule_quiet_timer(process_id target, std::uint64_t timer_type,
+                            sim_time delay);
   /// Recurring timer with the given period, first firing after `phase`.
   /// Periodic timers drive the paper's CHECK_* stabilization modules.
   void schedule_periodic(process_id target, std::uint64_t timer_type,
@@ -253,8 +260,14 @@ class simulator {
   /// to quiescence.
   std::uint64_t run_steps(std::uint64_t max_steps);
 
-  /// Non-periodic events currently queued (messages + one-shot timers).
+  /// Non-periodic events currently queued (messages + one-shot timers;
+  /// quiet timers and periodics excluded).
   std::size_t pending_work() const { return pending_work_; }
+
+  /// Virtual time of the earliest queued event of any kind, or +infinity
+  /// when the queue is empty.  The sharded kernel peeks this to skip
+  /// dispatching workers at shards with nothing due inside a window.
+  sim_time next_event_time();
 
   sim_time now() const { return now_; }
   const sim_metrics& metrics() const { return metrics_; }

@@ -83,6 +83,11 @@ TEST(Kernel, AdvanceCountsLockstepWindows) {
   EXPECT_EQ(k.metrics().barriers, 3u);
   EXPECT_DOUBLE_EQ(s0.now(), 25.0);
   EXPECT_DOUBLE_EQ(s1.now(), 25.0);
+  // No shard had an event due inside any window, so every shard-window
+  // was served inline (clock moved, no worker dispatched) — the
+  // mechanism that makes quiescent shards cheap under dirty-mode
+  // stabilization.
+  EXPECT_EQ(k.metrics().shard_windows_idle, 6u);
 }
 
 // --------------------------------------------- kernel(1) golden pass-through
