@@ -9,7 +9,10 @@
 // are spread evenly across the publishing connections (not parked on an
 // idle populator, which would never drain its pushes and trip the
 // slow-consumer backpressure), and every publisher records per-RPC
-// latency for the p50/p99 columns.
+// latency into its own obs::histogram; the per-thread histograms merge
+// at the join barrier (the same merge semantics the sharded simulator
+// uses, DESIGN.md §12) and the p50/p99/p999 columns read off the merged
+// log-bucketed distribution — no sample vectors, no sorting.
 //
 // The table schema is bench_publish_throughput's seven columns plus
 // clients/p50_us/p99_us, so compare_benches.sh gates both the same way.
@@ -23,6 +26,7 @@
 
 #include "bench_common.h"
 #include "drtree/summary.h"
+#include "obs/metrics.h"
 #include "rpc/client.h"
 #include "rpc/service.h"
 #include "util/rng.h"
@@ -83,13 +87,13 @@ void run_net_throughput(benchmark::State& state, std::size_t clients,
   std::uint64_t deliveries = 0;
   std::uint64_t false_negatives = 0;
   std::uint64_t total_events = 0;
-  std::vector<double> latencies_us;
+  drt::obs::histogram latency_us;
 
   for (auto _ : state) {
     std::atomic<std::uint64_t> sum_delivered{0};
     std::atomic<std::uint64_t> sum_fn{0};
     std::atomic<std::uint64_t> sum_events{0};
-    std::vector<std::vector<double>> per_thread_us(clients);
+    std::vector<drt::obs::histogram> per_thread_us(clients);
     std::vector<std::thread> threads;
     const std::size_t share = kTotalEvents / clients;
     for (std::size_t c = 0; c < clients; ++c) {
@@ -104,7 +108,7 @@ void run_net_throughput(benchmark::State& state, std::size_t clients,
               k == 1 ? conn.publish(first_sub[c], points[i])
                      : conn.publish_batch(first_sub[c], points.data() + i, k);
           const auto t1 = std::chrono::steady_clock::now();
-          lat.push_back(
+          lat.record(
               std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
                   .count() /
               1000.0);
@@ -119,24 +123,18 @@ void run_net_throughput(benchmark::State& state, std::size_t clients,
     deliveries += sum_delivered.load();
     false_negatives += sum_fn.load();
     total_events += sum_events.load();
-    for (auto& lat : per_thread_us) {
-      latencies_us.insert(latencies_us.end(), lat.begin(), lat.end());
-    }
+    // The barrier merge: thread-local histograms fold into the run's
+    // distribution exactly like per-shard registries at a kernel barrier.
+    for (const auto& lat : per_thread_us) latency_us += lat;
   }
 
   const std::uint64_t messages = conns[0].stat().messages - messages_before;
   service.stop();
   daemon.join();
 
-  std::sort(latencies_us.begin(), latencies_us.end());
-  auto quantile = [&](double q) {
-    if (latencies_us.empty()) return 0.0;
-    const auto idx = static_cast<std::size_t>(
-        q * static_cast<double>(latencies_us.size() - 1));
-    return latencies_us[idx];
-  };
-  const double p50 = quantile(0.50);
-  const double p99 = quantile(0.99);
+  const double p50 = latency_us.quantile(0.50);
+  const double p99 = latency_us.quantile(0.99);
+  const double p999 = latency_us.quantile(0.999);
   const double msgs_per_event =
       total_events == 0 ? 0.0
                         : static_cast<double>(messages) /
@@ -149,16 +147,18 @@ void run_net_throughput(benchmark::State& state, std::size_t clients,
   state.counters["false_negatives"] = static_cast<double>(false_negatives);
   state.counters["p50_us"] = p50;
   state.counters["p99_us"] = p99;
+  state.counters["p999_us"] = p999;
 
   results::instance().set_headers({"N", "batch", "summary", "events",
                                    "msgs/event", "deliveries", "fn",
-                                   "clients", "p50_us", "p99_us"});
+                                   "clients", "p50_us", "p99_us", "p999_us"});
   results::instance().add_row(
       {table::cell(kPopulation), table::cell(batch),
        std::string(drt::overlay::to_string(cfg.backend.dr.summary)),
        table::cell(total_events), table::cell(msgs_per_event, 2),
        table::cell(deliveries), table::cell(false_negatives),
-       table::cell(clients), table::cell(p50, 1), table::cell(p99, 1)});
+       table::cell(clients), table::cell(p50, 1), table::cell(p99, 1),
+       table::cell(p999, 1)});
 }
 
 void BM_NetThroughput(benchmark::State& state) {

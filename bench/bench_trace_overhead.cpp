@@ -1,0 +1,98 @@
+// Flight-recorder overhead (DESIGN.md §12): the same 256-peer scenario —
+// populate, converge, publish sweeps, churn, crashes — executed with the
+// trace ring off, on (ring), and unbounded (full), on fresh backends.
+//
+// Two claims are gated on this table:
+//  * off is free: trace = off leaves a null ring pointer, so every emit
+//    site is one never-taken branch and the recorder digest column must
+//    be bit-identical across all three modes (instrumentation may never
+//    perturb protocol behavior — the golden-digest tests pin the same
+//    invariant);
+//  * ring is cheap: scripts/compare_benches.sh asserts the ring row's
+//    cpu time stays within 10% of the off row on every PR (a special
+//    intra-suite ratio gate, not the usual baseline diff — wall-clock
+//    ratios are robust where absolute times are not).
+//
+// full mode is reported but not gated: it appends unbounded records plus
+// one record per simulator message, and exists for post-mortem depth,
+// not production cadence.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "bench_common.h"
+#include "engine/backends.h"
+#include "engine/runner.h"
+#include "engine/scenario.h"
+#include "obs/trace.h"
+#include "util/table.h"
+
+namespace {
+
+using drt::bench::results;
+using drt::util::table;
+
+drt::engine::scenario make_scenario() {
+  return drt::engine::scenario::make("trace_overhead")
+      .seed(99)
+      .populate(256)
+      .converge()
+      .publish_sweep(512, drt::workload::event_family::uniform)
+      .churn_wave(64)
+      .converge()
+      .publish_batch(512, 16, drt::workload::event_family::uniform)
+      .crash_burst(0.05)
+      .converge()
+      .build();
+}
+
+void run_trace_overhead(benchmark::State& state, drt::obs::trace_mode mode) {
+  const auto sc = make_scenario();
+  std::uint64_t digest = 0;
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    drt::engine::overlay_backend_config cfg;
+    cfg.net.seed = 2007;
+    cfg.dr.trace = mode;
+    cfg.dr.trace_dump = false;  // measure the ring, not the dump path
+    drt::engine::drtree_backend be(cfg);
+    drt::engine::scenario_runner runner(be);
+    const auto rec = runner.run(sc);
+    digest = rec.digest();
+    if (const auto* t = be.trace()) records = t->emitted();
+    benchmark::DoNotOptimize(digest);
+  }
+
+  state.counters["digest_lo32"] =
+      static_cast<double>(digest & 0xffffffffull);
+  state.counters["trace_records"] = static_cast<double>(records);
+
+  results::instance().set_headers({"trace", "digest", "records"});
+  results::instance().add_row({std::string(drt::obs::to_string(mode)),
+                               table::cell(digest), table::cell(records)});
+}
+
+void BM_TraceOff(benchmark::State& state) {
+  run_trace_overhead(state, drt::obs::trace_mode::off);
+}
+
+void BM_TraceRing(benchmark::State& state) {
+  run_trace_overhead(state, drt::obs::trace_mode::ring);
+}
+
+void BM_TraceFull(benchmark::State& state) {
+  run_trace_overhead(state, drt::obs::trace_mode::full);
+}
+
+}  // namespace
+
+BENCHMARK(BM_TraceOff)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceRing)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TraceFull)->Unit(benchmark::kMillisecond);
+
+DRT_BENCH_MAIN(
+    "Flight-recorder overhead: the same scenario with trace off/ring/full",
+    "Expect identical digest cells in all three rows (instrumentation "
+    "never perturbs the protocol) and the ring row within 10% of the off "
+    "row's cpu time — scripts/compare_benches.sh gates that ratio.")

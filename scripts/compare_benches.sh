@@ -33,7 +33,7 @@ fi
 BASE_DIR="$1"
 CAND_DIR="$2"
 THRESHOLD="${3:-10}"
-TIER1="${DRT_TIER1_BENCHES:-sim_core rtree_ops search latency partition_stabilize million_peer publish_throughput net_throughput quiescent_overhead}"
+TIER1="${DRT_TIER1_BENCHES:-sim_core rtree_ops search latency partition_stabilize million_peer publish_throughput net_throughput quiescent_overhead trace_overhead}"
 
 [ -d "$BASE_DIR" ] || { echo "baseline dir '$BASE_DIR' not found" >&2; exit 2; }
 [ -d "$CAND_DIR" ] || { echo "candidate dir '$CAND_DIR' not found" >&2; exit 2; }
@@ -64,6 +64,12 @@ for base_file in "$BASE_DIR"/BENCH_*.json; do
   suite="${suite%.json}"
   gate="no"
   is_tier1 "$suite" && gate="yes"
+  # trace_overhead is tier-1 through its intra-suite ratio gate below
+  # (ring vs off within ONE run); its absolute times are reported but
+  # not diff-gated — the scenario re-runs per iteration, so wall-clock
+  # swings with machine load while the ratio stays tight.  A missing
+  # candidate file still fails via the ratio-gate block.
+  [ "$suite" = "trace_overhead" ] && gate="no"
   cand_file="$CAND_DIR/$fname"
   if [ ! -f "$cand_file" ]; then
     if [ "$gate" = "yes" ]; then
@@ -120,6 +126,36 @@ for base_file in "$BASE_DIR"/BENCH_*.json; do
   failures=$((failures + $(printf '%s' "$summary" | cut -c2- | cut -d' ' -f1)))
   compared=$((compared + $(printf '%s' "$summary" | cut -d' ' -f2)))
 done
+
+# Intra-suite ratio gate for the flight recorder (DESIGN.md §12): in the
+# *candidate* run, the ring-mode row must stay within THRESHOLD% of the
+# off-mode row.  A ratio within one run is robust to machine speed, where
+# the absolute baseline diff above is not, so this is the gate that pins
+# "tracing is cheap" rather than "this machine is fast".
+trace_file="$CAND_DIR/BENCH_trace_overhead.json"
+if [ -f "$trace_file" ]; then
+  ratio_verdict="$(extract "$trace_file" | awk -F'\t' -v thr="$THRESHOLD" '
+    $1 ~ /^BM_TraceOff/  { if (!off  || $2 < off)  off  = $2 }
+    $1 ~ /^BM_TraceRing/ { if (!ring || $2 < ring) ring = $2 }
+    END {
+      if (!off || !ring) { print "INCOMPLETE"; exit }
+      d = (ring - off) / off * 100
+      printf "%.1f %s\n", d, (d > thr ? "FAIL" : "ok")
+    }')"
+  case "$ratio_verdict" in
+    INCOMPLETE)
+      echo "## trace_overhead: off/ring rows missing from candidate (FAIL)"
+      failures=$((failures + 1)) ;;
+    *FAIL)
+      echo "## trace_overhead: ring is ${ratio_verdict% FAIL}% over off (limit ${THRESHOLD}%) -> FAIL"
+      failures=$((failures + 1)) ;;
+    *)
+      echo "## trace_overhead: ring overhead ${ratio_verdict% ok}% (limit ${THRESHOLD}%)" ;;
+  esac
+elif is_tier1 "trace_overhead"; then
+  echo "## trace_overhead: candidate JSON missing, ring/off ratio not checked (FAIL)"
+  failures=$((failures + 1))
+fi
 
 echo
 if [ "$compared" -eq 0 ]; then

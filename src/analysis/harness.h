@@ -58,7 +58,11 @@ class testbed {
   /// True iff the current configuration is legitimate (Definition 3.2).
   bool legal() const { return backend_->legal(); }
   overlay::check_report report(bool check_containment = false) const {
-    return overlay::checker(backend_->overlay()).check(check_containment);
+    // Assertion-level check: tests treat a violation here as a failure,
+    // so a tracing overlay's first illegal report writes the flight dump
+    // (check_report::dump_path names it).
+    return overlay::checker(backend_->overlay())
+        .check(check_containment, /*dump_on_violation=*/true);
   }
 
   /// Publish `count` events of the given family from random live peers;

@@ -7,6 +7,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "drtree/dot.h"
+#include "obs/trace.h"
+
 namespace drt::overlay {
 
 using spatial::kNoPeer;
@@ -22,13 +25,19 @@ std::string where(peer_id p, std::size_t h) {
 
 }  // namespace
 
-check_report checker::check(bool check_containment) const {
+check_report checker::check(bool check_containment,
+                            bool dump_on_violation) const {
   check_report r;
   r.live_peers = overlay_.live_count();
   if (r.live_peers == 0) return r;
 
-  auto complain = [&](const std::string& text) {
+  auto complain = [&](const std::string& text,
+                      peer_id who = kNoPeer) {
     r.violations.push_back(text);
+    if (who != kNoPeer && std::find(r.offenders.begin(), r.offenders.end(),
+                                    who) == r.offenders.end()) {
+      r.offenders.push_back(who);
+    }
   };
 
   const auto m = overlay_.config().min_children;
@@ -63,7 +72,8 @@ check_report checker::check(bool check_containment) const {
     for (std::size_t i = 0; i < heights.size(); ++i) {
       if (heights[i] != i) {
         complain("peer " + std::to_string(p) +
-                 " has non-contiguous instance heights");
+                     " has non-contiguous instance heights",
+                 p);
         break;
       }
     }
@@ -75,10 +85,10 @@ check_report checker::check(bool check_containment) const {
 
       if (h == 0) {
         if (ins.mbr != peer.filter()) {
-          complain(where(p, h) + ": leaf MBR differs from filter");
+          complain(where(p, h) + ": leaf MBR differs from filter", p);
         }
         if (!ins.children.empty()) {
-          complain(where(p, h) + ": leaf instance has children");
+          complain(where(p, h) + ": leaf instance has children", p);
         }
       } else {
         ++interior_count;
@@ -91,48 +101,52 @@ check_report checker::check(bool check_containment) const {
         const bool is_root_instance = peer.is_root() && h == peer.top();
         if (ins.children.size() > big_m) {
           complain(where(p, h) + ": more than M children (" +
-                   std::to_string(ins.children.size()) + ")");
+                       std::to_string(ins.children.size()) + ")",
+                   p);
         }
         if (is_root_instance) {
           if (ins.children.size() < 2) {
-            complain(where(p, h) + ": root with fewer than 2 children");
+            complain(where(p, h) + ": root with fewer than 2 children", p);
           }
         } else if (ins.children.size() < m) {
           complain(where(p, h) + ": fewer than m children (" +
-                   std::to_string(ins.children.size()) + ")");
+                       std::to_string(ins.children.size()) + ")",
+                   p);
         }
 
         // underloaded flag correctness (Fig. 12).
         if (ins.underloaded != (ins.children.size() < m)) {
-          complain(where(p, h) + ": underloaded flag incorrect");
+          complain(where(p, h) + ": underloaded flag incorrect", p);
         }
 
         // Self-child invariant (§3: "recursively its own child").
         if (!ins.has_child(p)) {
-          complain(where(p, h) + ": missing own lower instance in children");
+          complain(where(p, h) + ": missing own lower instance in children", p);
         }
 
         // Children coherence + MBR exactness (bullets 2 and 4).
         auto expected = spatial::box::empty();
         for (const auto q : ins.children) {
           if (!overlay_.alive(q)) {
-            complain(where(p, h) + ": dead child " + std::to_string(q));
+            complain(where(p, h) + ": dead child " + std::to_string(q), p);
             continue;
           }
           const auto* qi = overlay_.peer(q).find_inst(h - 1);
           if (qi == nullptr) {
             complain(where(p, h) + ": child " + std::to_string(q) +
-                     " lacks an instance at h-1");
+                         " lacks an instance at h-1",
+                     p);
             continue;
           }
           if (qi->parent != p) {
             complain(where(p, h) + ": child " + std::to_string(q) +
-                     " points to a different parent");
+                         " points to a different parent",
+                     p);
           }
           expected = join(expected, qi->mbr);
         }
         if (ins.mbr != expected) {
-          complain(where(p, h) + ": MBR is not the union of children MBRs");
+          complain(where(p, h) + ": MBR is not the union of children MBRs", p);
         }
 
         // Cover optimality (bullet 3): no child covers better than the
@@ -151,7 +165,8 @@ check_report checker::check(bool check_containment) const {
                 qi->mbr.clamped(overlay_.config().workspace).area();
             if (qa > own_area) {
               complain(where(p, h) + ": child " + std::to_string(q) +
-                       " offers a better cover");
+                           " offers a better cover",
+                       p);
               break;
             }
           }
@@ -161,17 +176,18 @@ check_report checker::check(bool check_containment) const {
       // Parent coherence (bullet 2).
       if (h < peer.top()) {
         if (ins.parent != p) {
-          complain(where(p, h) + ": non-top instance not own-parented");
+          complain(where(p, h) + ": non-top instance not own-parented", p);
         }
       } else if (ins.parent == p) {
         // Root instance; uniqueness checked globally.
       } else if (ins.parent == kNoPeer || !overlay_.alive(ins.parent)) {
-        complain(where(p, h) + ": parent missing or dead");
+        complain(where(p, h) + ": parent missing or dead", p);
       } else {
         const auto* pi = overlay_.peer(ins.parent).find_inst(h + 1);
         if (pi == nullptr || !pi->has_child(p)) {
           complain(where(p, h) + ": not registered at parent " +
-                   std::to_string(ins.parent));
+                       std::to_string(ins.parent),
+                   p);
         }
       }
     }
@@ -207,7 +223,7 @@ check_report checker::check(bool check_containment) const {
       if (seen.count(p)) {
         ++reached;
       } else {
-        complain("peer " + std::to_string(p) + " unreachable from root");
+        complain("peer " + std::to_string(p) + " unreachable from root", p);
       }
     });
     r.reachable = reached;
@@ -247,7 +263,8 @@ check_report checker::check(bool check_containment) const {
             if (!ins->summary.covers(intersection(f, ins->mbr))) {
               ++r.summary_violations;
               complain(where(p, h) + ": summary misses leaf " +
-                       std::to_string(q) + "'s filter");
+                           std::to_string(q) + "'s filter",
+                       p);
               sound = false;  // one complaint per instance is enough
             }
             continue;
@@ -325,7 +342,52 @@ check_report checker::check(bool check_containment) const {
     }
   }
 
+  if (!r.violations.empty()) {
+    if (auto* t = overlay_.trace()) {
+      t->emit(overlay_.sim().now(), obs::trace_kind::violation, 0,
+              r.violations.size());
+    }
+    // First violating assertion-level check of a tracing overlay: freeze
+    // the flight recorder so the illegal state explains itself from CI
+    // artifacts.  Polling checks (dump_on_violation == false) only emit
+    // the trace record — transient illegality mid-convergence is normal.
+    if (dump_on_violation && overlay_.claim_violation_dump()) {
+      r.dump_path = dump(r);
+    }
+  }
+
   return r;
+}
+
+std::string checker::dump(const check_report& report) const {
+  std::ostringstream ctx;
+  ctx << "checker found " << report.violations.size() << " violation(s), "
+      << report.live_peers << " live peers, " << report.roots << " roots\n";
+  constexpr std::size_t kMaxViolations = 50;
+  for (std::size_t i = 0;
+       i < report.violations.size() && i < kMaxViolations; ++i) {
+    ctx << "  " << report.violations[i] << "\n";
+  }
+  if (report.violations.size() > kMaxViolations) {
+    ctx << "  ... " << report.violations.size() - kMaxViolations
+        << " more\n";
+  }
+  constexpr std::size_t kMaxOffenders = 8;
+  ctx << "\n--- offending peers' instance chains ---\n";
+  for (std::size_t i = 0;
+       i < report.offenders.size() && i < kMaxOffenders; ++i) {
+    ctx << describe_instance_chain(overlay_, report.offenders[i]);
+  }
+  ctx << "\n--- offender chain subgraphs (graphviz) ---\n";
+  for (std::size_t i = 0;
+       i < report.offenders.size() && i < kMaxOffenders; ++i) {
+    ctx << to_dot_instance_chain(overlay_, report.offenders[i]);
+  }
+  const auto* t = overlay_.trace();
+  return obs::write_flight_dump(
+      "checker-violation",
+      t != nullptr ? t->snapshot() : std::vector<obs::trace_record>{}, 512,
+      ctx.str());
 }
 
 bool checker::within_height_bound(std::size_t height, std::size_t m,

@@ -19,6 +19,17 @@ namespace drt::overlay {
 struct check_report {
   std::vector<std::string> violations;
 
+  /// Peers named by the violations, in first-complaint order without
+  /// duplicates — the subjects whose instance chains a violation dump
+  /// renders (DESIGN.md §12).
+  std::vector<spatial::peer_id> offenders;
+
+  /// Flight-recorder dump written for this report (first violating check
+  /// of a tracing overlay; see dr_overlay::claim_violation_dump).  Empty
+  /// when tracing is off, dumps are disabled, or the structure is legal.
+  /// Callers should name this file in any error message they raise.
+  std::string dump_path;
+
   /// Definition 3.2: the configuration is legitimate iff no predicate of
   /// Definition 3.1 (plus single-root/reachability) is violated.
   bool legal() const { return violations.empty(); }
@@ -55,7 +66,22 @@ class checker {
 
   /// Full legality check.  `check_containment` enables the O(N^2 * height)
   /// Property 3.1/3.2 sweep (keep off for large N in hot loops).
-  check_report check(bool check_containment = false) const;
+  /// `dump_on_violation` marks this as an assertion-level check: on the
+  /// overlay's first violating such check with tracing enabled, the
+  /// violation dump (offender instance chains + trace-ring tail) is
+  /// written and its path recorded in the report.  It defaults off
+  /// because convergence loops poll check() every round while the
+  /// structure is *expected* to be transiently illegal — only callers
+  /// that treat a violation as a failure should claim the dump.
+  check_report check(bool check_containment = false,
+                     bool dump_on_violation = false) const;
+
+  /// Write the violation dump for `report` unconditionally (the one-shot
+  /// auto-dump claim is bypassed): offender instance chains, their DOT
+  /// subgraph, and the trace-ring tail.  Returns the file path ("" when
+  /// nothing to write or the dump directory is unwritable) — name it in
+  /// the error message so CI failures are diagnosable from artifacts.
+  std::string dump(const check_report& report) const;
 
   /// Lemma 3.1 height bound: height <= ceil(log_m(N)) + slack.
   static bool within_height_bound(std::size_t height, std::size_t m,

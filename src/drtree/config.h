@@ -5,6 +5,7 @@
 #include <cstddef>
 
 #include "drtree/summary.h"
+#include "obs/trace.h"
 #include "rtree/split.h"
 #include "sim/simulator.h"
 #include "spatial/types.h"
@@ -132,6 +133,22 @@ struct dr_config {
   /// when starting from the root").  When false, the descent starts at
   /// the contact node (measured in E5).
   bool join_via_root = true;
+
+  /// Flight-recorder tracing (DESIGN.md §12).  `off` costs exactly one
+  /// null-pointer branch per emit site — runs are bit-identical to the
+  /// pre-trace code, pinned by the metrics-digest tests; `ring` records
+  /// protocol events into a bounded ring; `full` grows without bound and
+  /// adds a record per simulator message delivery.
+  obs::trace_mode trace = obs::trace_mode::off;
+
+  /// Ring capacity (records; rounded up to a power of two).
+  std::size_t trace_capacity = 1u << 14;
+
+  /// With tracing on, automatically write a flight dump on the overlay's
+  /// first false negative and on the checker's first violation report
+  /// ($DRT_DUMP_DIR, default "."); the checker names the file in its
+  /// report so CI failures carry their own diagnosis.
+  bool trace_dump = true;
 };
 
 }  // namespace drt::overlay

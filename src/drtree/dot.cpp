@@ -64,4 +64,81 @@ std::string to_dot_peers(const dr_overlay& overlay) {
   return out.str();
 }
 
+std::string to_dot_instance_chain(const dr_overlay& overlay,
+                                  spatial::peer_id p) {
+  std::ostringstream out;
+  out << "digraph chain_p" << p << " {\n  rankdir=TB;\n  node [shape=box];\n";
+  if (static_cast<std::size_t>(p) >= overlay.sim().process_count()) {
+    out << "}\n";
+    return out.str();
+  }
+  const auto& peer = overlay.peer(p);
+  auto node = [](spatial::peer_id q, std::size_t h) {
+    std::ostringstream n;
+    n << "\"p" << q << "@h" << h << "\"";
+    return n.str();
+  };
+  for (const auto h : peer.instance_heights()) {
+    const auto& ins = peer.inst(h);
+    const bool root = h == peer.top() && ins.parent == p;
+    out << "  " << node(p, h) << " [label=\"" << p << " @" << h;
+    if (root) out << " (root)";
+    if (!overlay.alive(p)) out << " (dead)";
+    out << "\", style=" << (root ? "bold" : "filled") << "];\n";
+    if (h == peer.top() && ins.parent != p &&
+        ins.parent != spatial::kNoPeer) {
+      out << "  " << node(ins.parent, h + 1) << " [label=\"" << ins.parent
+          << " @" << (h + 1)
+          << (overlay.alive(ins.parent) ? "" : " (dead)") << "\"];\n"
+          << "  " << node(ins.parent, h + 1) << " -> " << node(p, h)
+          << " [style=dashed];\n";
+    }
+    if (h > 0) {
+      for (const auto c : ins.children) {
+        if (c != p) {
+          out << "  " << node(c, h - 1) << " [label=\"" << c << " @"
+              << (h - 1) << (overlay.alive(c) ? "" : " (dead)") << "\"];\n";
+        }
+        out << "  " << node(p, h) << " -> " << node(c, h - 1) << ";\n";
+      }
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string describe_instance_chain(const dr_overlay& overlay,
+                                    spatial::peer_id p) {
+  std::ostringstream out;
+  if (static_cast<std::size_t>(p) >= overlay.sim().process_count()) {
+    out << "peer " << p << ": unknown\n";
+    return out.str();
+  }
+  const auto& peer = overlay.peer(p);
+  out << "peer " << p << (overlay.alive(p) ? "" : " (dead)") << " filter "
+      << peer.filter().to_string() << "\n";
+  for (const auto h : peer.instance_heights()) {
+    const auto& ins = peer.inst(h);
+    out << "  @h" << h << " mbr " << ins.mbr.to_string() << " parent "
+        << ins.parent;
+    if (ins.parent != spatial::kNoPeer && !overlay.alive(ins.parent)) {
+      out << " (dead)";
+    }
+    if (ins.underloaded) out << " underloaded";
+    if (h > 0) {
+      out << " children [";
+      bool first = true;
+      for (const auto c : ins.children) {
+        if (!first) out << ' ';
+        first = false;
+        out << c;
+        if (!overlay.alive(c)) out << "(dead)";
+      }
+      out << "]";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
 }  // namespace drt::overlay

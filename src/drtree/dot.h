@@ -18,6 +18,17 @@ std::string to_dot_instances(const dr_overlay& overlay);
 /// neighbor relation (parent/child at any height).
 std::string to_dot_peers(const dr_overlay& overlay);
 
+/// One peer's instance chain plus its immediate neighborhood (the parent
+/// above each instance, the children below) — the subgraph a violation
+/// dump renders for each offending peer, small enough to eyeball.
+std::string to_dot_instance_chain(const dr_overlay& overlay,
+                                  spatial::peer_id p);
+
+/// Plain-text rendering of the same chain: per instance the height, MBR,
+/// parent and children with their liveness — what the flight dump embeds.
+std::string describe_instance_chain(const dr_overlay& overlay,
+                                    spatial::peer_id p);
+
 }  // namespace drt::overlay
 
 #endif  // DRT_DRTREE_DOT_H

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdio>
 #include <memory>
+#include <sstream>
 
 #include "util/expect.h"
 
@@ -15,6 +17,20 @@ dr_overlay::dr_overlay(dr_config config, sim::simulator_config sim_cfg)
     : config_(config), sim_(sim_cfg) {
   DRT_EXPECT(config_.min_children >= 1);
   DRT_EXPECT(config_.max_children >= 2 * config_.min_children);
+  if (config_.trace != obs::trace_mode::off) {
+    trace_ = std::make_unique<obs::trace_ring>(config_.trace,
+                                               config_.trace_capacity);
+    if (config_.trace == obs::trace_mode::full) {
+      // Full mode additionally records every simulator delivery through
+      // the existing sim trace hook; ring mode keeps protocol-level
+      // events only.
+      sim_.set_trace([this](const sim::simulator::trace_event& e) {
+        trace_->emit(e.at, obs::trace_kind::message,
+                     static_cast<std::uint32_t>(e.to), e.type,
+                     static_cast<std::uint64_t>(e.from));
+      });
+    }
+  }
 }
 
 peer_id dr_overlay::add_peer(const spatial::box& filter) {
@@ -24,6 +40,7 @@ peer_id dr_overlay::add_peer(const spatial::box& filter) {
   // reused, so the entry stays valid for the peer's whole lifetime
   // (liveness is checked at query time).
   filter_index_.insert(filter, id);
+  trace_emit(obs::trace_kind::join, id);
   auto& created = peer(id);
   created.start_join(contact_node(id));
   return id;
@@ -58,6 +75,7 @@ peer_id dr_overlay::add_peer_and_settle(const spatial::box& filter,
 
 void dr_overlay::controlled_leave(peer_id p) {
   DRT_EXPECT(alive(p));
+  trace_emit(obs::trace_kind::leave, p, config_.efficient_leave ? 1 : 0);
   if (config_.efficient_leave) {
     peer(p).leave_with_handoff();
   } else {
@@ -81,6 +99,7 @@ void dr_overlay::controlled_leave(peer_id p) {
 }
 
 void dr_overlay::crash(peer_id p) {
+  if (alive(p)) trace_emit(obs::trace_kind::crash, p);
   if (config_.stabilize == stabilize_mode::dirty && alive(p)) {
     // The crash purge is silent — no protocol message will ever tell the
     // neighbors.  Mark them now, and drop the dead peer's own marks:
@@ -110,6 +129,7 @@ bool dr_overlay::heal_partition() {
 
 void dr_overlay::restart(peer_id p) {
   DRT_EXPECT(!alive(p));
+  trace_emit(obs::trace_kind::restart, p);
   if (departed_.erase(p) > 0) {
     filter_index_.insert(peer(p).filter(), p);
   }
@@ -207,6 +227,7 @@ peer_id dr_overlay::contact_node(peer_id asking) const {
 
 void dr_overlay::record_delivery(std::uint64_t event_id, peer_id p,
                                  std::size_t hop) {
+  trace_emit(obs::trace_kind::delivery, p, event_id, hop);
   deliveries_[event_id].insert(p);
   auto& worst = delivery_hops_[event_id];
   worst = std::max(worst, hop);
@@ -225,6 +246,7 @@ publish_result dr_overlay::publish_and_drain(peer_id publisher,
 void dr_overlay::publish_begin(peer_id publisher, std::uint64_t event_id,
                                const spatial::pt& value) {
   DRT_EXPECT(alive(publisher));
+  trace_emit(obs::trace_kind::publish, publisher, event_id);
   spatial::event ev;
   ev.id = event_id;
   ev.publisher = publisher;
@@ -245,6 +267,7 @@ void dr_overlay::inject_publish(std::uint64_t event_id,
     return true;
   });
   if (target == kNoPeer) return;  // empty shard: nothing to deliver
+  trace_emit(obs::trace_kind::publish, target, event_id);
   spatial::event ev;
   ev.id = event_id;
   ev.publisher = target;
@@ -280,7 +303,26 @@ publish_result dr_overlay::publish_finish(std::uint64_t event_id,
   matching_live_peers(value, match_scratch_);
   r.interested = match_scratch_.size();
   for (const auto p : match_scratch_) {
-    if (delivered.count(p) == 0) ++r.false_negatives;
+    if (delivered.count(p) == 0) {
+      ++r.false_negatives;
+      trace_emit(obs::trace_kind::false_neg, p, ev.id);
+    }
+  }
+  if (r.false_negatives > 0 && trace_ != nullptr && config_.trace_dump &&
+      !fn_dumped_) {
+    // First false negative this overlay ever observed: freeze the flight
+    // recorder into a dump so the drop is attributable after the fact.
+    fn_dumped_ = true;
+    std::ostringstream ctx;
+    ctx << "event " << ev.id << " missed " << r.false_negatives << " of "
+        << r.interested << " interested peers (delivered " << r.delivered
+        << ", messages " << r.messages << ")";
+    const auto path = obs::write_flight_dump(
+        "first-false-negative", trace_->snapshot(), 256, ctx.str());
+    if (!path.empty()) {
+      std::fprintf(stderr, "drt: first false negative; flight dump: %s\n",
+                   path.c_str());
+    }
   }
   deliveries_.erase(ev.id);
   delivery_hops_.erase(ev.id);
@@ -319,6 +361,7 @@ void dr_overlay::multi_publish_begin(peer_id publisher,
     evs[i].id = event_ids[i];
     evs[i].publisher = publisher;
     evs[i].value = values[i];
+    trace_emit(obs::trace_kind::publish, publisher, event_ids[i]);
   }
   peer(publisher).multi_publish(evs.data(), n);
 }
@@ -344,6 +387,7 @@ void dr_overlay::inject_multi_publish(const std::uint64_t* event_ids,
     evs[i].id = event_ids[i];
     evs[i].publisher = target;
     evs[i].value = values[i];
+    trace_emit(obs::trace_kind::publish, target, event_ids[i]);
   }
   peer(target).multi_publish(evs.data(), n);
 }

@@ -7,6 +7,7 @@
 #define DRT_DRTREE_OVERLAY_H
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "drtree/arena.h"
 #include "drtree/config.h"
 #include "drtree/peer.h"
+#include "obs/trace.h"
 #include "rtree/rtree.h"
 #include "sim/simulator.h"
 #include "spatial/types.h"
@@ -267,6 +269,33 @@ class dr_overlay {
   stabilize_stats& stab_stats() { return stab_stats_; }
   const stabilize_stats& stab_stats() const { return stab_stats_; }
 
+  // ----------------------------------------------------- flight recorder
+  /// The trace ring, or nullptr when dr_config::trace == off.  Read it
+  /// only between drains — the ring shares the shard's single-writer
+  /// discipline.
+  obs::trace_ring* trace() const { return trace_.get(); }
+
+  /// Emit site used throughout the protocol: with tracing off this is one
+  /// null-pointer branch (no stores, no allocation — the zero-overhead
+  /// contract the obs tests pin).
+  void trace_emit(obs::trace_kind kind, spatial::peer_id p,
+                  std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (trace_) {
+      trace_->emit(sim_.now(), kind, static_cast<std::uint32_t>(p), a, b);
+    }
+  }
+
+  /// One-shot claims gating the automatic flight dumps (first checker
+  /// violation, first false negative): true exactly once per overlay, and
+  /// only when tracing and trace_dump are on.
+  bool claim_violation_dump() const {
+    if (trace_ == nullptr || !config_.trace_dump || violation_dumped_) {
+      return false;
+    }
+    violation_dumped_ = true;
+    return true;
+  }
+
   /// Drain all in-flight work (join/leave/repair messages).
   std::uint64_t settle(std::uint64_t max_steps = 1000000) {
     return sim_.run_steps(max_steps);
@@ -309,6 +338,12 @@ class dr_overlay {
   std::vector<inst_slot> dirty_ring_;      ///< marked slots in mark order
   std::size_t dirty_pending_ = 0;          ///< set bits in dirty_bits_
   stabilize_stats stab_stats_;
+
+  // Flight recorder (null when config_.trace == off).  The dump claims
+  // are mutable so the const checker can trigger the first-violation dump.
+  std::unique_ptr<obs::trace_ring> trace_;
+  mutable bool violation_dumped_ = false;
+  bool fn_dumped_ = false;
 };
 
 }  // namespace drt::overlay

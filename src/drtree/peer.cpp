@@ -915,6 +915,7 @@ void dr_peer::rejoin_fragment(std::size_t h) {
   auto* ins = find_inst(h);
   if (ins == nullptr) return;
   ++repairs_.rejoins;
+  overlay_.trace_emit(obs::trace_kind::repair, pid(), kRepairRejoin, h);
   ins->parent = pid();  // "the node sets itself as parent"
   overlay_.mark_dirty(pid(), h);  // detached fragment: keep retrying
   const auto contact = overlay_.contact_node(pid());
@@ -1001,7 +1002,10 @@ void dr_peer::check_mbr(std::size_t h) {
   const auto before = ins == nullptr ? box::empty() : ins->mbr;
   compute_mbr(h);
   ins = find_inst(h);
-  if (ins != nullptr && !(ins->mbr == before)) ++repairs_.mbr_fixed;
+  if (ins != nullptr && !(ins->mbr == before)) {
+    ++repairs_.mbr_fixed;
+    overlay_.trace_emit(obs::trace_kind::repair, pid(), kRepairMbr, h);
+  }
 }
 
 void dr_peer::check_parent(std::size_t h) {
@@ -1014,10 +1018,12 @@ void dr_peer::check_parent(std::size_t h) {
     if (ins->parent != pid()) {
       ins->parent = pid();
       ++repairs_.own_chain_fixed;
+      overlay_.trace_emit(obs::trace_kind::repair, pid(), kRepairOwnChain, h);
     }
     if (auto* up = find_inst(h + 1); up != nullptr && !up->has_child(pid())) {
       up->add_child(pid());
       ++repairs_.own_chain_fixed;
+      overlay_.trace_emit(obs::trace_kind::repair, pid(), kRepairOwnChain, h);
     }
     return;
   }
@@ -1053,7 +1059,11 @@ void dr_peer::check_children(std::size_t h) {
     if (qi->parent != pid()) continue;  // "simply discards the child"
     keep.push_back(q);
   }
-  repairs_.children_discarded += ins->children.size() - keep.size();
+  if (ins->children.size() != keep.size()) {
+    repairs_.children_discarded += ins->children.size() - keep.size();
+    overlay_.trace_emit(obs::trace_kind::repair, pid(), kRepairChildDiscard,
+                        h);
+  }
   ins->children = std::move(keep);
 
   // Self-child link: an interior instance always contains this peer's own
@@ -1075,6 +1085,7 @@ void dr_peer::check_children(std::size_t h) {
       if (t == 0) break;
       erase_inst(t);
       ++repairs_.instances_dissolved;
+      overlay_.trace_emit(obs::trace_kind::repair, pid(), kRepairDissolve, t);
     }
     return;
   }
@@ -1121,6 +1132,7 @@ void dr_peer::check_cover(std::size_t h) {
   }
   if (best != kNoPeer) {
     ++repairs_.cover_promotions;
+    overlay_.trace_emit(obs::trace_kind::repair, pid(), kRepairCover, h);
     promote_child(h, best);
   }
 }
@@ -1349,9 +1361,12 @@ void dr_peer::check_structure(std::size_t h) {
     const auto cand = search_compaction_candidate(h, underloaded_child);
     if (cand != kNoPeer) {
       ++repairs_.compactions;
+      overlay_.trace_emit(obs::trace_kind::repair, pid(), kRepairCompact, h);
       compact(h, underloaded_child, cand);
     } else if (redistribute(h, underloaded_child)) {
       ++repairs_.redistributions;
+      overlay_.trace_emit(obs::trace_kind::repair, pid(), kRepairRedistribute,
+                          h);
       // Borrowed children from a rich sibling (the paper's "dispatched to
       // one of p's unsaturated children", in the absorbing direction).
     } else if (underloaded_child == pid()) {
@@ -1363,6 +1378,8 @@ void dr_peer::check_structure(std::size_t h) {
       // No sibling can absorb or donate: dissolve the subtree; its leaves
       // rejoin through the oracle.
       ++repairs_.subtree_dissolutions;
+      overlay_.trace_emit(obs::trace_kind::repair, pid(),
+                          kRepairSubtreeDissolve, h);
       dr_msg m;
       m.kind = msg_kind::initiate_new_connection;
       m.h = h - 1;
@@ -1378,6 +1395,13 @@ void dr_peer::check_structure(std::size_t h) {
 
 void dr_peer::stabilize_pass() {
   ++overlay_.stab_stats().visited;
+  overlay_.trace_emit(obs::trace_kind::stab_begin, pid(), top());
+  const auto msgs_before = sim().metrics().messages_sent;
+  const auto& r0 = repairs_;
+  const auto repairs_before =
+      r0.mbr_fixed + r0.own_chain_fixed + r0.rejoins + r0.children_discarded +
+      r0.instances_dissolved + r0.cover_promotions + r0.compactions +
+      r0.redistributions + r0.subtree_dissolutions;
   const auto& sw = overlay_.config().stabilizers;
   // Snapshot the heights into reusable scratch (modules may erase
   // instances mid-pass; the old per-pass vector allocation is gone).
@@ -1417,6 +1441,13 @@ void dr_peer::stabilize_pass() {
       ++stab_probe_msgs_;
     }
   }
+  const auto repairs_after =
+      r0.mbr_fixed + r0.own_chain_fixed + r0.rejoins + r0.children_discarded +
+      r0.instances_dissolved + r0.cover_promotions + r0.compactions +
+      r0.redistributions + r0.subtree_dissolutions;
+  overlay_.trace_emit(obs::trace_kind::stab_end, pid(),
+                      repairs_after - repairs_before,
+                      sim().metrics().messages_sent - msgs_before);
 }
 
 // --------------------------------------------- dissemination (§2.3/§3)

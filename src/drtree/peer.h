@@ -56,6 +56,19 @@ struct repair_stats {
   }
 };
 
+// Repair-module codes carried in the `a` field of flight-recorder repair
+// records (obs::trace_kind::repair), mirroring repair_stats field order;
+// the record's `b` field is the instance height repaired.
+inline constexpr std::uint64_t kRepairMbr = 1;
+inline constexpr std::uint64_t kRepairOwnChain = 2;
+inline constexpr std::uint64_t kRepairRejoin = 3;
+inline constexpr std::uint64_t kRepairChildDiscard = 4;
+inline constexpr std::uint64_t kRepairDissolve = 5;
+inline constexpr std::uint64_t kRepairCover = 6;
+inline constexpr std::uint64_t kRepairCompact = 7;
+inline constexpr std::uint64_t kRepairRedistribute = 8;
+inline constexpr std::uint64_t kRepairSubtreeDissolve = 9;
+
 class dr_peer : public sim::process {
  public:
   dr_peer(dr_overlay& overlay, spatial::box filter);

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "spatial/types.h"
 
 namespace drt::engine {
@@ -178,6 +179,19 @@ class backend {
 
   virtual backend_shape shape() const = 0;
   virtual backend_counters counters() const = 0;
+
+  // ----------------------------------------------------- observability
+  /// The backend's flight-recorder ring (DESIGN.md §12), or nullptr when
+  /// tracing is off / the backend has none.  Sharded backends return the
+  /// first shard's ring; use dump_flight for a merged view.
+  virtual const obs::trace_ring* trace() const { return nullptr; }
+
+  /// Write a flight-recorder dump (merged across shards) and return its
+  /// path; "" when tracing is off or the backend does not support dumps.
+  virtual std::string dump_flight(const std::string& reason) {
+    (void)reason;
+    return {};
+  }
 };
 
 }  // namespace drt::engine

@@ -186,6 +186,12 @@ backend_counters drtree_backend::counters() const {
   return c;
 }
 
+std::string drtree_backend::dump_flight(const std::string& reason) {
+  const auto* t = overlay_->trace();
+  if (t == nullptr) return {};
+  return obs::write_flight_dump(reason, t->snapshot(), t->size(), {});
+}
+
 // ----------------------------------------------- sharded_drtree_backend
 
 sharded_drtree_backend::sharded_drtree_backend(overlay_backend_config config,
@@ -209,6 +215,9 @@ sharded_drtree_backend::sharded_drtree_backend(overlay_backend_config config,
     scfg.seed = config.net.seed + i * 0x9e3779b97f4a7c15ull;
     overlays_.push_back(
         std::make_unique<overlay::dr_overlay>(config.dr, scfg));
+    if (auto* t = overlays_.back()->trace()) {
+      t->set_shard(static_cast<std::uint16_t>(i));
+    }
     kernel_.attach(i, overlays_.back()->sim());
   }
 }
@@ -418,6 +427,16 @@ backend_counters sharded_drtree_backend::counters() const {
   }
   c.messages += kernel_.metrics().cross_messages;
   return c;
+}
+
+std::string sharded_drtree_backend::dump_flight(const std::string& reason) {
+  std::vector<const obs::trace_ring*> rings;
+  for (const auto& ov : overlays_) {
+    if (ov->trace() != nullptr) rings.push_back(ov->trace());
+  }
+  if (rings.empty()) return {};
+  const auto merged = obs::merge_traces(rings);
+  return obs::write_flight_dump(reason, merged, merged.size(), {});
 }
 
 std::size_t sharded_drtree_backend::dirty_pending(std::size_t shard) const {

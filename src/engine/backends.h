@@ -74,6 +74,9 @@ class drtree_backend final : public backend {
   backend_shape shape() const override;
   backend_counters counters() const override;
 
+  const obs::trace_ring* trace() const override { return overlay_->trace(); }
+  std::string dump_flight(const std::string& reason) override;
+
   overlay::dr_overlay& overlay() { return *overlay_; }
   const overlay::dr_overlay& overlay() const { return *overlay_; }
 
@@ -126,6 +129,11 @@ class sharded_drtree_backend final : public backend {
   bool legal() const override;
   backend_shape shape() const override;
   backend_counters counters() const override;
+
+  const obs::trace_ring* trace() const override {
+    return overlays_.empty() ? nullptr : overlays_[0]->trace();
+  }
+  std::string dump_flight(const std::string& reason) override;
 
   std::size_t shards() const { return overlays_.size(); }
   overlay::dr_overlay& overlay(std::size_t shard) { return *overlays_[shard]; }

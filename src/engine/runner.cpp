@@ -1,9 +1,23 @@
 #include "engine/runner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 namespace drt::engine {
+
+namespace {
+
+/// Wall-clock microseconds since `t0` — registry-only (DESIGN.md §12);
+/// never recorded in a metrics_recorder row, which must stay
+/// deterministic.
+double us_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 scenario_runner::scenario_runner(engine::backend& be, runner_config config)
     : be_(be), config_(std::move(config)), rng_(config_.workload.seed) {}
@@ -37,6 +51,13 @@ sweep_stats scenario_runner::do_sweep(phase_ctx ctx, std::size_t count,
   sweep_stats acc;
   const auto live = be_.active();
   if (!live.empty()) {
+    // Registry references are stable for its lifetime (DESIGN.md §12);
+    // resolve the names once so the per-event loop — the region the
+    // publish-throughput benches time — never does a string-map lookup.
+    auto& hop_hist = metrics_.hist("drt_publish_hop_depth");
+    auto& events_total = metrics_.counter("drt_events_published_total");
+    auto& deliveries_total = metrics_.counter("drt_deliveries_total");
+    auto& fn_total = metrics_.counter("drt_false_negatives_total");
     acc.population = live.size();
     for (std::size_t i = 0; i < count; ++i) {
       const auto publisher = live[ctx.rng.index(live.size())];
@@ -44,6 +65,10 @@ sweep_stats scenario_runner::do_sweep(phase_ctx ctx, std::size_t count,
       const auto value = workload::make_event_point(
           family, ctx.rng, ctx.profile.subs.workspace, ctx.filters);
       const auto r = be_.publish(publisher, value);
+      hop_hist.record(static_cast<double>(r.max_hops));
+      ++events_total;
+      deliveries_total += r.delivered;
+      fn_total += r.false_negatives;
       ++acc.events;
       acc.deliveries += r.delivered;
       acc.interested += r.interested;
@@ -73,6 +98,11 @@ sweep_stats scenario_runner::do_batch_sweep(phase_ctx ctx,
   const auto live = be_.active();
   const std::size_t batch = p.batch == 0 ? 1 : p.batch;
   if (!live.empty()) {
+    // Same hoist as do_sweep: one name resolution per sweep, not per batch.
+    auto& hop_hist = metrics_.hist("drt_publish_hop_depth");
+    auto& events_total = metrics_.counter("drt_events_published_total");
+    auto& deliveries_total = metrics_.counter("drt_deliveries_total");
+    auto& fn_total = metrics_.counter("drt_false_negatives_total");
     acc.population = live.size();
     std::vector<spatial::pt> values;
     values.reserve(batch);
@@ -90,6 +120,10 @@ sweep_stats scenario_runner::do_batch_sweep(phase_ctx ctx,
       done += n;
       if (!be_.alive(publisher)) continue;
       const auto r = be_.publish_batch(publisher, values.data(), n);
+      hop_hist.record(static_cast<double>(r.max_hops));
+      events_total += n;
+      deliveries_total += r.delivered;
+      fn_total += r.false_negatives;
       acc.events += n;
       acc.deliveries += r.delivered;
       acc.interested += r.interested;
@@ -114,13 +148,18 @@ sweep_stats scenario_runner::do_batch_sweep(phase_ctx ctx,
 
 int scenario_runner::do_converge(int max_rounds, phase_metrics* out) {
   int result = -1;
+  auto& round_hist = metrics_.hist("drt_stabilize_round_us");
+  auto& rounds_total = metrics_.counter("drt_stabilize_rounds_total");
   for (int round = 0; round <= max_rounds; ++round) {
     if (be_.legal()) {
       result = round;
       break;
     }
     if (round == max_rounds) break;  // budget spent, still illegal
+    const auto t0 = std::chrono::steady_clock::now();
     be_.step_round();
+    round_hist.record(us_since(t0));
+    ++rounds_total;
     if (config_.on_converge_round) {
       config_.on_converge_round(round, be_.legal());
     }
@@ -229,7 +268,14 @@ std::size_t scenario_runner::do_corrupt(phase_ctx ctx, double rate,
 }
 
 int scenario_runner::do_steps(int rounds, phase_metrics* out) {
-  for (int r = 0; r < rounds; ++r) be_.step_round();
+  auto& round_hist = metrics_.hist("drt_stabilize_round_us");
+  auto& rounds_total = metrics_.counter("drt_stabilize_rounds_total");
+  for (int r = 0; r < rounds; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    be_.step_round();
+    round_hist.record(us_since(t0));
+    ++rounds_total;
+  }
   if (out != nullptr) {
     out->rounds = rounds;
     out->legal = be_.legal() ? 1 : 0;

@@ -24,6 +24,7 @@
 #include "engine/backend.h"
 #include "engine/metrics.h"
 #include "engine/scenario.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace drt::engine {
@@ -106,6 +107,15 @@ class scenario_runner {
   const std::vector<sub_id>& crashed() const { return crashed_; }
   const runner_config& config() const { return config_; }
 
+  /// Observability side channel (DESIGN.md §12): counters plus the
+  /// publish-hop-depth and stabilize-round-latency histograms every sweep
+  /// and round executor feeds.  Deliberately NOT part of the
+  /// metrics_recorder rows, so the recorder digest — and with it every
+  /// golden-digest determinism test — is unchanged by instrumentation.
+  /// Wall-clock latencies live only here, never in recorded rows.
+  obs::registry& metrics() { return metrics_; }
+  const obs::registry& metrics() const { return metrics_; }
+
  private:
   /// Per-execution experiment state: the RNG stream plus the filter
   /// history and crash stack it feeds.  Primitives bind the runner's
@@ -155,6 +165,7 @@ class scenario_runner {
   util::rng rng_;
   std::vector<spatial::box> filters_;
   std::vector<sub_id> crashed_;
+  obs::registry metrics_;
 };
 
 }  // namespace drt::engine

@@ -1,0 +1,109 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace drt::obs {
+
+double histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += buckets_[i];
+    if (cum > rank) {
+      double v = upper_bound(i);
+      if (v < min_) v = min_;
+      if (v > max_) v = max_;
+      return v;
+    }
+  }
+  return max_;
+}
+
+histogram& histogram::operator+=(const histogram& other) {
+  if (other.count_ == 0) return *this;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  return *this;
+}
+
+void registry::merge(const registry& other) {
+  for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  for (const auto& [name, v] : other.gauges_) gauges_[name] = v;
+  for (const auto& [name, h] : other.hists_) hists_[name] += h;
+}
+
+namespace {
+
+// %.17g round-trips doubles exactly through parse_exposition's strtod.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string registry::expose() const {
+  std::ostringstream out;
+  for (const auto& [name, v] : counters_) {
+    out << "# TYPE " << name << " counter\n" << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : gauges_) {
+    out << "# TYPE " << name << " gauge\n" << name << " " << num(v) << "\n";
+  }
+  for (const auto& [name, h] : hists_) {
+    out << "# TYPE " << name << " histogram\n";
+    // Cumulative buckets up to the last populated one; +Inf always closes.
+    std::size_t last = 0;
+    const auto& b = h.buckets();
+    for (std::size_t i = 0; i < histogram::kBuckets; ++i) {
+      if (b[i] != 0) last = i;
+    }
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i <= last && h.count() != 0; ++i) {
+      cum += b[i];
+      out << name << "_bucket{le=\"" << num(histogram::upper_bound(i))
+          << "\"} " << cum << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n"
+        << name << "_sum " << num(h.sum()) << "\n"
+        << name << "_count " << h.count() << "\n";
+  }
+  return out.str();
+}
+
+std::map<std::string, double> parse_exposition(const std::string& text) {
+  std::map<std::string, double> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    // Sample name runs to the first space outside a {...} label block.
+    std::size_t i = 0;
+    bool in_labels = false;
+    for (; i < line.size(); ++i) {
+      if (line[i] == '{') in_labels = true;
+      if (line[i] == '}') in_labels = false;
+      if (line[i] == ' ' && !in_labels) break;
+    }
+    if (i == 0 || i >= line.size()) continue;
+    const auto name = line.substr(0, i);
+    const char* tail = line.c_str() + i + 1;
+    char* end = nullptr;
+    const double v = std::strtod(tail, &end);
+    if (end == tail) continue;  // no numeric value — not a sample line
+    out[name] = v;
+  }
+  return out;
+}
+
+}  // namespace drt::obs

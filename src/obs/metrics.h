@@ -1,0 +1,121 @@
+// Counter + histogram registry (DESIGN.md §12): named monotonic counters,
+// free-standing gauges, and log-bucketed histograms that answer
+// p50/p99/p999 without storing samples.  Per-shard registries merge by
+// plain addition (counters and bucket counts are sums, gauges last-write),
+// and the whole registry renders to the Prometheus text exposition format
+// drtd serves live — obs::parse_exposition round-trips it for tests and
+// tooling.
+//
+// Histogram buckets are powers of 2^(1/4) (four buckets per octave), so a
+// quantile estimate is off by at most ~19% of the true value — the usual
+// contract of log-bucketed latency tracking — while the footprint stays a
+// fixed 256 * 8 bytes per histogram.
+#ifndef DRT_OBS_METRICS_H
+#define DRT_OBS_METRICS_H
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace drt::obs {
+
+class histogram {
+ public:
+  static constexpr std::size_t kBuckets = 256;
+  /// Bucket index of v == 1.0; the range spans 2^-32 .. 2^32 around it.
+  static constexpr int kOffset = 128;
+
+  void record(double v) {
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (count_ == 1 || v > max_) max_ = v;
+    ++buckets_[bucket_index(v)];
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  /// Quantile estimate (q in [0,1]) from bucket counts: the containing
+  /// bucket's upper bound, clamped to the observed [min, max].
+  double quantile(double q) const;
+
+  histogram& operator+=(const histogram& other);
+
+  static std::size_t bucket_index(double v) {
+    if (!(v > 0.0)) return 0;
+    const int i = kOffset + static_cast<int>(std::floor(std::log2(v) * 4.0));
+    if (i < 0) return 0;
+    if (i >= static_cast<int>(kBuckets)) return kBuckets - 1;
+    return static_cast<std::size_t>(i);
+  }
+
+  /// Upper boundary of bucket `i` (the `le` label in the exposition).
+  static double upper_bound(std::size_t i) {
+    return std::exp2(static_cast<double>(static_cast<int>(i) + 1 - kOffset) /
+                     4.0);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/// Named metrics, deterministically ordered (std::map) so the exposition
+/// text — and anything hashed over it — is stable across runs.
+class registry {
+ public:
+  /// Monotonic counter cell; returns a reference stable for the
+  /// registry's lifetime (node-based map).
+  std::uint64_t& counter(const std::string& name) { return counters_[name]; }
+  /// Last-write-wins gauge cell.
+  double& gauge(const std::string& name) { return gauges_[name]; }
+  histogram& hist(const std::string& name) { return hists_[name]; }
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, histogram>& hists() const { return hists_; }
+
+  /// Merge semantics (DESIGN.md §12): counters and histogram buckets add,
+  /// gauges take the other side's value.  Used at shard barriers; with
+  /// one shard, merge(x) == x.
+  void merge(const registry& other);
+
+  void clear() {
+    counters_.clear();
+    gauges_.clear();
+    hists_.clear();
+  }
+
+  /// Prometheus text exposition (version 0.0.4): `# TYPE` comments,
+  /// cumulative `_bucket{le="..."}` lines per histogram plus `_sum` and
+  /// `_count`.  Empty trailing buckets are elided (a legal boundary
+  /// subset) so hop-depth histograms don't render 200 zero lines.
+  std::string expose() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, histogram> hists_;
+};
+
+/// Parse an exposition back into {sample name (labels included) -> value}.
+/// Accepts exactly what expose() emits plus arbitrary comment lines —
+/// the round-trip contract the obs tests pin.
+std::map<std::string, double> parse_exposition(const std::string& text);
+
+}  // namespace drt::obs
+
+#endif  // DRT_OBS_METRICS_H

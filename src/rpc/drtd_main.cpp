@@ -2,12 +2,16 @@
 // localhost TCP listener and serves the rpc/wire.h protocol until
 // SIGINT/SIGTERM.
 //
-//   drtd [--port=N] [--stabilize-ms=N] [--seed=N] [--poll]
+//   drtd [--port=N] [--stabilize-ms=N] [--seed=N] [--trace=MODE] [--poll]
 //
 //   --port=N          listen port on 127.0.0.1 (default 7450; 0 = ephemeral)
 //   --stabilize-ms=N  wall-clock stabilizer cadence (default 250; 0 = off)
 //   --seed=N          hosted overlay's simulator seed (default 1)
+//   --trace=MODE      flight recorder: off (default), ring, or full
 //   --poll            run the event loop on poll(2) instead of epoll
+//
+// While serving, `GET /metrics` on the same port (plain HTTP) or a STATS
+// wire frame returns the live Prometheus exposition (DESIGN.md §12).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -46,12 +50,24 @@ int main(int argc, char** argv) {
       config.stabilize_every_ms = value;
     } else if (parse_u32(argv[i], "--seed", &value)) {
       config.backend.net.seed = value;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      const char* mode = argv[i] + 8;
+      if (std::strcmp(mode, "off") == 0) {
+        config.backend.dr.trace = drt::obs::trace_mode::off;
+      } else if (std::strcmp(mode, "ring") == 0) {
+        config.backend.dr.trace = drt::obs::trace_mode::ring;
+      } else if (std::strcmp(mode, "full") == 0) {
+        config.backend.dr.trace = drt::obs::trace_mode::full;
+      } else {
+        std::fprintf(stderr, "drtd: unknown trace mode '%s'\n", mode);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--poll") == 0) {
       config.force_poll = true;
     } else {
       std::fprintf(stderr,
                    "usage: drtd [--port=N] [--stabilize-ms=N] [--seed=N] "
-                   "[--poll]\n");
+                   "[--trace=off|ring|full] [--poll]\n");
       return 2;
     }
   }
@@ -61,8 +77,10 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
-  std::printf("drtd listening on 127.0.0.1:%u (stabilize %u ms, %s)\n",
+  std::printf("drtd listening on 127.0.0.1:%u (stabilize %u ms, trace %s, "
+              "%s)\n",
               service.port(), config.stabilize_every_ms,
+              drt::obs::to_string(config.backend.dr.trace),
               config.force_poll ? "poll" : "epoll");
   std::fflush(stdout);
 

@@ -8,9 +8,15 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <memory>
+#include <mutex>
+#include <string_view>
 
 #include "drtree/checker.h"
+#include "obs/metrics.h"
 #include "util/expect.h"
 
 namespace drt::rpc {
@@ -88,7 +94,9 @@ void service::run() {
     });
   }
 
+  serving_.store(true, std::memory_order_release);
   loop_.run();
+  serving_.store(false, std::memory_order_release);
 
   // Shutdown: drop connections without churning the overlay — the
   // daemon is going away, a storm of controlled leaves helps nobody.
@@ -161,6 +169,18 @@ void service::on_conn_event(int fd, std::uint32_t events) {
 
 bool service::drain_frames(connection& conn) {
   const int fd = conn.fd;
+  // A binary frame opens with kMagic ("DRT1"); a plaintext "GET " prefix
+  // is an HTTP scrape of /metrics.  Sniff before try_decode — bad magic
+  // would otherwise kill the connection.
+  if (!conn.http && !conn.dead && conn.rbuf.size() >= 4 &&
+      std::memcmp(conn.rbuf.data(), "GET ", 4) == 0) {
+    conn.http = true;
+  }
+  if (conn.http) {
+    if (!conn.dead) handle_http(conn);
+    reap();
+    return conns_.find(fd) != conns_.end();
+  }
   std::size_t off = 0;
   while (!conn.dead) {
     frame_view frame;
@@ -225,6 +245,9 @@ void service::handle_frame(connection& conn, const frame_view& frame) {
       return;
     case frame_type::active:
       handle_active(conn, frame);
+      return;
+    case frame_type::stats:
+      handle_stats(conn, frame);
       return;
     case frame_type::overlay_msg:
     case frame_type::overlay_batch:
@@ -375,6 +398,159 @@ void service::handle_active(connection& conn, const frame_view& frame) {
              active_ok_body::bytes_for(n));
 }
 
+void service::handle_stats(connection& conn, const frame_view& frame) {
+  stats_req_body body;
+  if (!frame.read(body)) {
+    send_error(conn, frame.seq, wire_errc::bad_request);
+    return;
+  }
+  if (body.offset == 0 || conn.stats_cache.empty()) {
+    conn.stats_cache = build_exposition();
+  }
+  stats_text_body reply;
+  reply.total = conn.stats_cache.size();
+  reply.offset = body.offset;
+  const std::size_t start =
+      std::min<std::size_t>(body.offset, conn.stats_cache.size());
+  const std::size_t n =
+      std::min(stats_text_body::kMaxBytes, conn.stats_cache.size() - start);
+  std::memcpy(reply.text, conn.stats_cache.data() + start, n);
+  reply.count = static_cast<std::uint32_t>(n);
+  send_bytes(conn, frame_type::stats_ok, frame.seq, &reply,
+             stats_text_body::bytes_for(n));
+}
+
+std::string service::build_exposition() {
+  obs::registry reg;
+  reg.counter("drtd_connections_accepted_total") = stats_.connections_accepted;
+  reg.counter("drtd_connections_closed_total") = stats_.connections_closed;
+  reg.counter("drtd_frames_in_total") = stats_.frames_in;
+  reg.counter("drtd_frames_out_total") = stats_.frames_out;
+  reg.counter("drtd_events_pushed_total") = stats_.events_pushed;
+  reg.counter("drtd_protocol_errors_total") = stats_.protocol_errors;
+  reg.counter("drtd_disconnect_unsubscribes_total") =
+      stats_.disconnect_unsubscribes;
+  reg.counter("drtd_stabilize_rounds_total") = stats_.stabilize_rounds;
+  reg.counter("drtd_stabilize_skipped_total") = stats_.stabilize_skipped;
+  reg.counter("drtd_overlay_messages_total") = be_.counters().messages;
+  if (const auto* t = be_.trace()) {
+    reg.counter("drtd_trace_records_total") = t->emitted();
+  }
+  const auto shape = be_.shape();
+  reg.gauge("drtd_overlay_population") =
+      static_cast<double>(shape.population);
+  reg.gauge("drtd_overlay_height") = static_cast<double>(shape.height);
+  reg.gauge("drtd_overlay_max_degree") =
+      static_cast<double>(shape.max_degree);
+  reg.gauge("drtd_overlay_avg_degree") = shape.avg_degree;
+  reg.gauge("drtd_overlay_routing_state") =
+      static_cast<double>(shape.routing_state);
+  reg.gauge("drtd_overlay_dirty_pending") =
+      static_cast<double>(be_.overlay().dirty_pending());
+  return reg.expose();
+}
+
+void service::handle_http(connection& conn) {
+  static constexpr std::size_t kMaxHttpRequest = 8192;
+  const auto* data = reinterpret_cast<const char*>(conn.rbuf.data());
+  const std::string_view req(data, conn.rbuf.size());
+  const auto end = req.find("\r\n\r\n");
+  if (end == std::string_view::npos) {
+    if (conn.rbuf.size() > kMaxHttpRequest) {
+      ++stats_.protocol_errors;
+      conn.dead = true;
+    }
+    return;  // headers still arriving
+  }
+  // Request line: "GET <path> HTTP/1.x".
+  const auto line_end = req.find("\r\n");
+  std::string_view path;
+  const auto first_sp = req.find(' ');
+  if (first_sp != std::string_view::npos && first_sp < line_end) {
+    const auto second_sp = req.find(' ', first_sp + 1);
+    if (second_sp != std::string_view::npos && second_sp < line_end) {
+      path = req.substr(first_sp + 1, second_sp - first_sp - 1);
+    }
+  }
+  conn.rbuf.erase(conn.rbuf.begin(),
+                  conn.rbuf.begin() + static_cast<std::ptrdiff_t>(end + 4));
+
+  std::string response;
+  if (path == "/metrics") {
+    const auto body = build_exposition();
+    response = "HTTP/1.0 200 OK\r\n"
+               "Content-Type: text/plain; version=0.0.4\r\n"
+               "Content-Length: " + std::to_string(body.size()) +
+               "\r\nConnection: close\r\n\r\n" + body;
+  } else {
+    response = "HTTP/1.0 404 Not Found\r\n"
+               "Content-Length: 0\r\nConnection: close\r\n\r\n";
+  }
+  const auto* bytes = reinterpret_cast<const std::byte*>(response.data());
+  conn.wbuf.insert(conn.wbuf.end(), bytes, bytes + response.size());
+  conn.close_when_drained = true;
+  flush(conn);
+}
+
+void service::run_on_loop(std::function<void()> fn) {
+  if (!serving_.load(std::memory_order_acquire)) {
+    fn();  // loop idle: the calling thread owns the state
+    return;
+  }
+  struct waiter {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    bool abandoned = false;
+  };
+  auto w = std::make_shared<waiter>();
+  loop_.post([w, fn = std::move(fn)] {
+    {
+      std::lock_guard<std::mutex> lk(w->m);
+      if (w->abandoned) return;  // caller gave up; fn's captures are gone
+    }
+    fn();
+    std::lock_guard<std::mutex> lk(w->m);
+    w->done = true;
+    w->cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lk(w->m);
+  while (!w->done) {
+    if (w->cv.wait_for(lk, std::chrono::milliseconds(50)) ==
+            std::cv_status::timeout &&
+        !serving_.load(std::memory_order_acquire)) {
+      // The loop exited without draining the task.  Abandon it (the flag
+      // keeps a late drain from touching fn's dead captures) and return
+      // without running fn — callers detect the skip and read the
+      // now-idle state directly.
+      w->abandoned = true;
+      return;
+    }
+  }
+}
+
+service::counters service::stats_snapshot() {
+  counters out{};
+  bool filled = false;
+  run_on_loop([this, &out, &filled] {
+    out = stats_;
+    filled = true;
+  });
+  if (!filled) out = stats_;  // abandoned-task fallback: loop is idle now
+  return out;
+}
+
+std::string service::metrics_text() {
+  std::string out;
+  bool filled = false;
+  run_on_loop([this, &out, &filled] {
+    out = build_exposition();
+    filled = true;
+  });
+  if (!filled) out = build_exposition();
+  return out;
+}
+
 void service::push_deliveries(const overlay::publish_result& result,
                               std::uint64_t publisher,
                               const spatial::pt& value) {
@@ -431,6 +607,7 @@ void service::flush(connection& conn) {
     conn.wbuf.erase(conn.wbuf.begin(),
                     conn.wbuf.begin() + static_cast<std::ptrdiff_t>(off));
   }
+  if (conn.close_when_drained && conn.wbuf.empty()) conn.dead = true;
   if (!conn.dead) {
     loop_.set_interest(conn.fd,
                        event_loop::kReadable |

@@ -19,7 +19,10 @@
 #ifndef DRT_RPC_SERVICE_H
 #define DRT_RPC_SERVICE_H
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -76,9 +79,23 @@ class service {
     /// dirty backlog was empty (dirty mode only; see service.cpp).
     std::uint64_t stabilize_skipped = 0;
   };
-  /// Read after run() returned (or before it starts) — the counters
-  /// belong to the loop thread while serving.
+  /// Direct counter access — loop-thread data, so only read it before
+  /// run() starts or after it returned.  The old "never while serving"
+  /// restriction is lifted by stats_snapshot(), which is safe from any
+  /// thread at any time.
   const counters& stats() const { return stats_; }
+
+  /// Thread-safe counter snapshot (DESIGN.md §12): while the daemon is
+  /// serving, the read is marshalled onto the loop thread via post() and
+  /// this call blocks until it executes; when the loop is idle the
+  /// counters are read directly.  Callable from any thread at any time.
+  counters stats_snapshot();
+
+  /// Thread-safe Prometheus text exposition of the daemon's live state:
+  /// service counters, hosted-overlay shape, and flight-recorder totals.
+  /// Same marshalling discipline as stats_snapshot().  This is exactly
+  /// the body an HTTP `GET /metrics` on the service port returns.
+  std::string metrics_text();
 
   /// The hosted overlay backend; same thread-ownership rule as stats().
   engine::drtree_backend& backend() { return be_; }
@@ -92,6 +109,14 @@ class service {
     /// Marked instead of closed inline: handlers hold references into
     /// conns_, so teardown happens in reap() between frames.
     bool dead = false;
+    /// Sniffed as a plaintext HTTP client ("GET " prefix): the
+    /// connection serves one /metrics response and closes.
+    bool http = false;
+    /// Close once wbuf fully drains (HTTP/1.0 response semantics).
+    bool close_when_drained = false;
+    /// The exposition snapshot a paged stats read walks; regenerated on
+    /// every offset-0 request so a multi-frame read stays consistent.
+    std::string stats_cache;
   };
 
   void on_accept();
@@ -107,6 +132,18 @@ class service {
   void handle_publish_batch(connection& conn, const frame_view& frame);
   void handle_stat(connection& conn, const frame_view& frame);
   void handle_active(connection& conn, const frame_view& frame);
+  void handle_stats(connection& conn, const frame_view& frame);
+
+  /// Serve a sniffed HTTP connection from its read buffer; responds to
+  /// `GET /metrics` with the Prometheus exposition and closes.
+  void handle_http(connection& conn);
+
+  /// The Prometheus text exposition; loop-thread only (reads the overlay).
+  std::string build_exposition();
+
+  /// Run `fn` where it is safe to touch loop-thread state: posted to the
+  /// loop (blocking until done) while serving, called directly otherwise.
+  void run_on_loop(std::function<void()> fn);
 
   /// Fan the delivered event out to the connections owning the
   /// receiving subscriptions.
@@ -135,6 +172,7 @@ class service {
   /// Subscription owner index: sub id -> owning connection fd.
   std::unordered_map<engine::sub_id, int> owners_;
   counters stats_;
+  std::atomic<bool> serving_{false};  ///< run() is inside loop_.run()
   std::uint64_t stabilize_tick_ = 0;  ///< wall-clock stabilizer periods seen
   std::vector<std::byte> scratch_;  ///< frame-encode scratch
   std::vector<int> scratch_fds_;    ///< reap() collection scratch

@@ -57,6 +57,8 @@ enum class frame_type : std::uint16_t {
   stat_ok = 21,         ///< stat_body
   active = 22,          ///< active_req_body -> active_ok (paged)
   active_ok = 23,       ///< active_ok_body prefix
+  stats = 24,           ///< stats_req_body -> stats_ok (paged)
+  stats_ok = 25,        ///< stats_text_body prefix
 
   // Unsolicited server->client notification (seq = 0).
   event_push = 30,  ///< event_push_body
@@ -154,6 +156,31 @@ struct active_ok_body {
   }
 };
 
+/// Request one page of the daemon's Prometheus text exposition
+/// (DESIGN.md §12).  `offset == 0` regenerates the snapshot server-side;
+/// later offsets page through that same snapshot so a multi-frame read is
+/// internally consistent.
+struct stats_req_body {
+  std::uint32_t offset = 0;
+  std::uint32_t reserved = 0;
+};
+
+/// One page of exposition text, size-prefixed like active_ok_body so
+/// small pages ride small frames.  `total` is the full snapshot length in
+/// bytes; the client keeps paging until offset + count == total.
+struct stats_text_body {
+  static constexpr std::size_t kMaxBytes = 4000;
+
+  std::uint64_t total = 0;
+  std::uint32_t offset = 0;
+  std::uint32_t count = 0;
+  char text[kMaxBytes];
+
+  static constexpr std::size_t bytes_for(std::size_t n) {
+    return offsetof(stats_text_body, text) + n;
+  }
+};
+
 /// Push notification: subscription `sub` (owned by this connection)
 /// received `ev`.  `max_hops` is the event's worst delivery-path length
 /// across all receivers (per-receiver hops are not tracked end to end).
@@ -184,6 +211,10 @@ static_assert(std::is_trivially_copyable_v<report_body>);
 static_assert(std::is_trivially_copyable_v<stat_body>);
 static_assert(std::is_trivially_copyable_v<active_req_body>);
 static_assert(std::is_trivially_copyable_v<active_ok_body>);
+static_assert(std::is_trivially_copyable_v<stats_req_body>);
+static_assert(std::is_trivially_copyable_v<stats_text_body>);
+static_assert(stats_text_body::bytes_for(stats_text_body::kMaxBytes) <=
+              kMaxPayloadBytes);
 static_assert(std::is_trivially_copyable_v<event_push_body>);
 static_assert(std::is_trivially_copyable_v<error_body>);
 static_assert(active_ok_body::bytes_for(active_ok_body::kMaxIds) <=
@@ -320,6 +351,18 @@ inline bool read_active_page(const frame_view& f, active_ok_body& out) {
   std::memcpy(&out, f.payload, f.size);
   return out.count <= active_ok_body::kMaxIds &&
          f.size == active_ok_body::bytes_for(out.count);
+}
+
+/// Same validated prefix extraction for stats_text_body pages.
+inline bool read_stats_page(const frame_view& f, stats_text_body& out) {
+  if (f.size < stats_text_body::bytes_for(0) ||
+      f.size > sizeof(stats_text_body)) {
+    return false;
+  }
+  out = stats_text_body{};
+  std::memcpy(&out, f.payload, f.size);
+  return out.count <= stats_text_body::kMaxBytes &&
+         f.size == stats_text_body::bytes_for(out.count);
 }
 
 }  // namespace drt::rpc

@@ -26,6 +26,8 @@
 #include "engine/runner.h"
 #include "engine/scenario.h"
 #include "geometry/rect.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/client.h"
 #include "rpc/event_loop.h"
 #include "rpc/net_backend.h"
@@ -689,7 +691,9 @@ TEST(Service, GarbageBytesCloseTheConnection) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
             0);
-  const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+  // Not a wire frame and not an HTTP request (GET is sniffed and served
+  // since the observability PR — see HttpGetMetricsServesPrometheus).
+  const char garbage[] = "SSH-2.0-OpenSSH_9.6\r\nnot a drt frame at all";
   ASSERT_GT(::send(fd, garbage, sizeof(garbage), 0), 0);
   char buf[64];
   EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0);  // EOF: daemon closed us
@@ -768,6 +772,133 @@ TEST(Service, WallClockStabilizerRunsRounds) {
   // Structure must stay legal under background stabilization.
   EXPECT_TRUE(c.stat().legal);
   EXPECT_GE(fx.get().stats().stabilize_rounds, 3u);
+}
+
+// ========================================================= introspection
+
+TEST(Service, LiveStatsMidChurn) {
+  // The observability contract (DESIGN.md §12): a serving daemon answers
+  // STATS while clients churn, the text is Prometheus-parseable, counters
+  // are monotonic across reads, and the overlay gauges reflect the
+  // population actually subscribed.
+  service_config cfg;
+  cfg.backend = small_config(31);
+  cfg.backend.dr.trace = obs::trace_mode::ring;
+  cfg.stabilize_every_ms = 5;
+  service_fixture fx(cfg);
+
+  client owner(fx.port());
+  ASSERT_TRUE(owner.ok());
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_NE(owner.subscribe(make_rect2(i * 10, i * 10, i * 10 + 80,
+                                         i * 10 + 80)),
+              static_cast<std::uint64_t>(engine::kNoSub));
+  }
+
+  // First read lands mid-churn: ephemeral clients join and vanish while
+  // the daemon pages the exposition back.
+  std::thread churn([port = fx.port()] {
+    for (int round = 0; round < 6; ++round) {
+      client ephemeral(port);
+      if (!ephemeral.ok()) continue;
+      ephemeral.subscribe(make_rect2(0, 0, 30, 30));
+      ephemeral.subscribe(make_rect2(40, 40, 90, 90));
+      // Destructor = abrupt disconnect, the churn primitive.
+    }
+  });
+  const auto first_text = owner.stats_text();
+  churn.join();
+  ASSERT_FALSE(first_text.empty());
+  const auto first = obs::parse_exposition(first_text);
+  ASSERT_NE(first.count("drtd_frames_in_total"), 0u);
+  ASSERT_NE(first.count("drtd_overlay_population"), 0u);
+  EXPECT_GT(first.at("drtd_frames_in_total"), 0.0);
+
+  // After the churn drains, the gauges settle on the surviving owner
+  // subscriptions and the tree has real height.
+  await_population(fx.port(), 12);
+  const auto second = obs::parse_exposition(owner.stats_text());
+  EXPECT_DOUBLE_EQ(second.at("drtd_overlay_population"), 12.0);
+  EXPECT_GE(second.at("drtd_overlay_height"), 1.0);
+  EXPECT_GT(second.at("drtd_trace_records_total"), 0.0);
+  // Monotonic counters never move backwards between reads.
+  for (const char* name :
+       {"drtd_frames_in_total", "drtd_frames_out_total",
+        "drtd_connections_accepted_total", "drtd_stabilize_rounds_total"}) {
+    ASSERT_NE(second.count(name), 0u) << name;
+    EXPECT_GE(second.at(name), first.at(name)) << name;
+  }
+}
+
+TEST(Service, StatsSnapshotIsSafeFromAnyThreadWhileServing) {
+  service_config cfg;
+  cfg.backend = small_config(32);
+  service_fixture fx(cfg);
+
+  client c(fx.port());
+  ASSERT_TRUE(c.ok());
+  ASSERT_NE(c.subscribe(make_rect2(0, 0, 100, 100)),
+            static_cast<std::uint64_t>(engine::kNoSub));
+
+  // This thread is neither the loop thread nor a wire client: the
+  // snapshot marshals through the event loop and comes back consistent.
+  const auto snap = fx.get().stats_snapshot();
+  EXPECT_GE(snap.connections_accepted, 1u);
+  EXPECT_GT(snap.frames_in, 0u);
+
+  const auto text = fx.get().metrics_text();
+  const auto parsed = obs::parse_exposition(text);
+  ASSERT_NE(parsed.count("drtd_overlay_population"), 0u);
+  EXPECT_DOUBLE_EQ(parsed.at("drtd_overlay_population"), 1.0);
+}
+
+TEST(Service, HttpGetMetricsServesPrometheus) {
+  service_config cfg;
+  cfg.backend = small_config(33);
+  service_fixture fx(cfg);
+
+  client c(fx.port());
+  ASSERT_TRUE(c.ok());
+  ASSERT_NE(c.subscribe(make_rect2(0, 0, 200, 200)),
+            static_cast<std::uint64_t>(engine::kNoSub));
+
+  auto http_get = [&](const char* request) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(fx.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    EXPECT_GT(::send(fd, request, std::strlen(request), 0), 0);
+    std::string response;
+    char buf[4096];
+    for (;;) {
+      const auto n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;  // daemon closes after one response
+      response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+  };
+
+  const auto ok = http_get("GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(ok.compare(0, 15, "HTTP/1.0 200 OK"), 0) << ok;
+  EXPECT_NE(ok.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  const auto body_at = ok.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const auto parsed = obs::parse_exposition(ok.substr(body_at + 4));
+  ASSERT_NE(parsed.count("drtd_connections_accepted_total"), 0u);
+  EXPECT_DOUBLE_EQ(parsed.at("drtd_overlay_population"), 1.0);
+
+  const auto missing = http_get("GET /nope HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(missing.compare(0, 12, "HTTP/1.0 404"), 0) << missing;
+
+  // The wire protocol still works on the same port after HTTP traffic.
+  EXPECT_TRUE(c.ping());
 }
 
 // ============================================================ net backend
